@@ -1,0 +1,117 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Heavy experiment runs are cached at session scope so that a figure that
+needs (say) the Vanilla CPU run does not recompute what another figure
+already produced.  Everything is deterministic, so caching is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.baselines import (
+    KrakenConfig,
+    KrakenParameters,
+    KrakenScheduler,
+    SfsScheduler,
+    VanillaScheduler,
+)
+from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.platformsim import ExperimentResult, run_experiment
+from repro.workload import (
+    cpu_workload_trace,
+    fib_function_spec,
+    io_function_spec,
+    io_workload_trace,
+)
+
+SCHEDULER_ORDER = ("Vanilla", "SFS", "Kraken", "FaaSBatch")
+
+
+def build_schedulers(kraken_params: KrakenParameters,
+                     window_ms: float = 200.0) -> List:
+    """The four §IV policies at a given dispatch interval."""
+    return [
+        VanillaScheduler(),
+        SfsScheduler(),
+        KrakenScheduler(KrakenConfig(parameters=kraken_params,
+                                     window_ms=window_ms)),
+        FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)),
+    ]
+
+
+@pytest.fixture(scope="session")
+def cpu_trace():
+    """The full 800-invocation CPU replay (Fig. 10)."""
+    return cpu_workload_trace()
+
+
+@pytest.fixture(scope="session")
+def io_trace():
+    """The first 400 invocations, I/O flavour (§IV)."""
+    return io_workload_trace()
+
+
+@pytest.fixture(scope="session")
+def fib_spec():
+    return fib_function_spec()
+
+
+@pytest.fixture(scope="session")
+def io_spec():
+    return io_function_spec()
+
+
+@pytest.fixture(scope="session")
+def vanilla_cpu(cpu_trace, fib_spec) -> ExperimentResult:
+    return run_experiment(VanillaScheduler(), cpu_trace, [fib_spec],
+                          workload_label="cpu")
+
+
+@pytest.fixture(scope="session")
+def vanilla_io(io_trace, io_spec) -> ExperimentResult:
+    return run_experiment(VanillaScheduler(), io_trace, [io_spec],
+                          workload_label="io")
+
+
+@pytest.fixture(scope="session")
+def kraken_params_cpu(vanilla_cpu) -> KrakenParameters:
+    """The paper's Kraken port: SLO = Vanilla's 98th-pct latency."""
+    return KrakenParameters.from_invocations(vanilla_cpu.invocations)
+
+
+@pytest.fixture(scope="session")
+def kraken_params_io(vanilla_io) -> KrakenParameters:
+    return KrakenParameters.from_invocations(vanilla_io.invocations)
+
+
+@pytest.fixture(scope="session")
+def cpu_results(cpu_trace, fib_spec, vanilla_cpu,
+                kraken_params_cpu) -> Dict[str, ExperimentResult]:
+    """All four schedulers on the CPU workload at the default window."""
+    results = {"Vanilla": vanilla_cpu}
+    results["SFS"] = run_experiment(SfsScheduler(), cpu_trace, [fib_spec],
+                                    workload_label="cpu")
+    results["Kraken"] = run_experiment(
+        KrakenScheduler(KrakenConfig(parameters=kraken_params_cpu)),
+        cpu_trace, [fib_spec], workload_label="cpu")
+    results["FaaSBatch"] = run_experiment(
+        FaaSBatchScheduler(), cpu_trace, [fib_spec], workload_label="cpu")
+    return results
+
+
+@pytest.fixture(scope="session")
+def io_results(io_trace, io_spec, vanilla_io,
+               kraken_params_io) -> Dict[str, ExperimentResult]:
+    """All four schedulers on the I/O workload at the default window."""
+    results = {"Vanilla": vanilla_io}
+    results["SFS"] = run_experiment(SfsScheduler(), io_trace, [io_spec],
+                                    workload_label="io")
+    results["Kraken"] = run_experiment(
+        KrakenScheduler(KrakenConfig(parameters=kraken_params_io)),
+        io_trace, [io_spec], workload_label="io")
+    results["FaaSBatch"] = run_experiment(
+        FaaSBatchScheduler(), io_trace, [io_spec], workload_label="io")
+    return results

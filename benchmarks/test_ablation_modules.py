@@ -1,0 +1,68 @@
+"""Ablation — which FaaSBatch module buys what (DESIGN.md §7).
+
+Four configurations on the I/O workload:
+
+1. mapper-only (serial containers, no multiplexing) — Kraken-style batches;
+2. + inline parallel (no multiplexing) — kills queuing latency;
+3. + multiplexer (serial) — kills redundant creations;
+4. full FaaSBatch — both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import emit
+from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.platformsim import run_experiment
+
+CONFIGS = (
+    ("mapper-only", FaaSBatchConfig(inline_parallel=False,
+                                    multiplex_resources=False)),
+    ("+inline-parallel", FaaSBatchConfig(inline_parallel=True,
+                                         multiplex_resources=False)),
+    ("+multiplexer", FaaSBatchConfig(inline_parallel=False,
+                                     multiplex_resources=True)),
+    ("full-faasbatch", FaaSBatchConfig(inline_parallel=True,
+                                       multiplex_resources=True)),
+)
+
+
+def run_ablation(io_trace, io_spec):
+    results = {}
+    for label, config in CONFIGS:
+        results[label] = run_experiment(
+            FaaSBatchScheduler(config), io_trace, [io_spec],
+            workload_label="io")
+    return results
+
+
+def test_ablation_modules(benchmark, io_trace, io_spec):
+    results = benchmark.pedantic(run_ablation, args=(io_trace, io_spec),
+                                 rounds=1, iterations=1)
+    headers = ["configuration", "p98_latency_ms", "queuing_total_s",
+               "clients_created", "avg_memory_MB", "containers"]
+    rows = []
+    for label, _config in CONFIGS:
+        result = results[label]
+        rows.append([
+            label,
+            round(result.latency_stats().percentile(98.0), 1),
+            round(result.total_queuing_ms() / 1000.0, 2),
+            result.clients_created,
+            round(result.average_memory_mb(), 1),
+            result.provisioned_containers,
+        ])
+    emit("ablation_modules", headers, rows,
+         title="Ablation — FaaSBatch module contributions (I/O workload)")
+
+    # Inline parallelism removes in-container queuing entirely.
+    assert results["mapper-only"].total_queuing_ms() > 0.0
+    assert results["+inline-parallel"].total_queuing_ms() == 0.0
+    # The multiplexer removes redundant client creations.
+    assert results["+inline-parallel"].clients_created == 400
+    assert results["full-faasbatch"].clients_created < 40
+    # Each module improves p98 latency; the full system is the best.
+    p98 = {label: results[label].latency_stats().percentile(98.0)
+           for label, _config in CONFIGS}
+    assert p98["full-faasbatch"] <= p98["+inline-parallel"]
+    assert p98["full-faasbatch"] <= p98["+multiplexer"]
+    assert p98["full-faasbatch"] < p98["mapper-only"]

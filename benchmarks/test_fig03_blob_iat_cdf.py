@@ -1,0 +1,44 @@
+"""Fig. 3 — CDF of blob inter-arrival times (14 day curves + combined).
+
+The paper: "nearly 80% of the objects are repeatedly accessed within
+100 ms, while the remaining 10% are revisited ranging from 100 ms to
+1000 ms".  We regenerate the fourteen per-day CDFs and the combined curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import emit
+from repro.workload.blob import TRACE_DAYS, combined_model, day_model, iat_cdf
+
+PROBABILITIES = (0.10, 0.25, 0.50, 0.75, 0.80, 0.90, 0.95, 0.99)
+
+
+def run_figure():
+    curves = {"combined": iat_cdf(combined_model(), samples=30_000)}
+    for day in range(1, TRACE_DAYS + 1):
+        curves[f"day{day:02d}"] = iat_cdf(day_model(day), samples=5_000,
+                                          seed=100 + day)
+    return curves
+
+
+def test_fig03_blob_iat_cdf(benchmark):
+    curves = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    headers = ["P"] + list(curves)
+    rows = []
+    for p in PROBABILITIES:
+        rows.append([f"{p:.2f}"] + [round(curves[name].quantile(p), 1)
+                                    for name in curves])
+    emit("fig03_blob_iat_cdf", headers, rows,
+         title="Fig. 3 — CDF of blob inter-arrival time (ms)")
+
+    combined = curves["combined"]
+    # The paper's published quantiles.
+    assert combined.probability_at(100.0) == pytest.approx(0.80, abs=0.02)
+    assert combined.probability_at(1_000.0) == pytest.approx(0.90, abs=0.02)
+    # Each day's curve stays in a band around the combined one.
+    for day in range(1, TRACE_DAYS + 1):
+        per_day = curves[f"day{day:02d}"].probability_at(100.0)
+        assert 0.68 <= per_day <= 0.92

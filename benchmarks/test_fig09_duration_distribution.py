@@ -1,0 +1,41 @@
+"""Fig. 9 — probability distribution of function durations.
+
+The workload generator must reproduce the published histogram:
+55.13% in [0,50) ms, 6.96% in [50,100), 5.61% in [100,200),
+11.08% in [200,400), 11.09% in [400,1550), 10.14% in [1550,inf).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import duration_distribution_table, emit
+from repro.workload.durations import (
+    DURATION_BUCKETS,
+    DurationSampler,
+    bucket_probabilities,
+    empirical_bucket_fractions,
+    fib_duration_ms,
+)
+
+SAMPLES = 100_000
+
+
+def run_figure():
+    sampler = DurationSampler(seed=0)
+    durations = [fib_duration_ms(n) for n in sampler.sample_many(SAMPLES)]
+    return empirical_bucket_fractions(durations)
+
+
+def test_fig09_duration_distribution(benchmark):
+    fractions = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    expected = bucket_probabilities()
+    labels = []
+    for lower, upper, _p, _ns in DURATION_BUCKETS:
+        label = f"[{lower:g}, {'inf' if upper == float('inf') else f'{upper:g}'})"
+        labels.append(label)
+    headers, rows = duration_distribution_table(fractions, expected, labels)
+    emit("fig09_duration_distribution", headers, rows,
+         title="Fig. 9 — function duration distribution (paper vs sampled)")
+    for got, want in zip(fractions, expected):
+        assert got == pytest.approx(want, abs=0.01)

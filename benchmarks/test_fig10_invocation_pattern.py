@@ -1,0 +1,40 @@
+"""Fig. 10 — invocation pattern of the generated workload.
+
+The replayed minute: exactly 800 invocations over 60 seconds, strongly
+bursty (the paper picked it as "a strong indicator of the burstiness of
+serverless functions"); the I/O experiments use its first 400 invocations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import emit, invocation_pattern_table
+from repro.workload.arrivals import per_second_counts
+from repro.workload.azure import (
+    IO_REPLAY_INVOCATIONS,
+    REPLAY_TOTAL_INVOCATIONS,
+    replay_minute_arrivals,
+)
+
+
+def run_figure():
+    arrivals = replay_minute_arrivals()
+    return arrivals, per_second_counts(arrivals, 60_000.0)
+
+
+def test_fig10_invocation_pattern(benchmark):
+    arrivals, counts = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    headers, rows = invocation_pattern_table(counts)
+    emit("fig10_invocation_pattern", headers, rows,
+         title="Fig. 10 — per-second invocations of the replayed minute")
+
+    assert len(arrivals) == REPLAY_TOTAL_INVOCATIONS
+    assert sum(counts) == REPLAY_TOTAL_INVOCATIONS
+    assert len(counts) == 60
+    # Bursty: a handful of seconds carry most of the volume.
+    peak_seconds = sorted(counts, reverse=True)[:5]
+    assert sum(peak_seconds) > REPLAY_TOTAL_INVOCATIONS / 2
+    assert max(counts) > 100
+    # The I/O subset is the time-ordered prefix.
+    io_prefix = arrivals[:IO_REPLAY_INVOCATIONS]
+    assert io_prefix == sorted(io_prefix)
+    assert io_prefix[-1] <= arrivals[-1]

@@ -1,0 +1,63 @@
+"""Fig. 11 — latency CDFs for the CPU-intensive workload (4 schedulers).
+
+Three panels: (a) scheduling latency, (b) cold-start latency, (c) execution
+latency plus Kraken's Exec+Queue series.  Expected shapes (§V-A):
+
+* FaaSBatch has the lowest scheduling tail; Kraken is comparable but a gap
+  opens after the 96th percentile;
+* FaaSBatch (and Kraken) pay far less cold start than Vanilla/SFS;
+* execution is similar across policies, but Kraken's Exec+Queue is much
+  higher because its batches execute serially.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown_table, emit, latency_cdf_tables
+
+
+def test_fig11_cpu_latency_cdfs(benchmark, cpu_results):
+    results = benchmark.pedantic(lambda: list(cpu_results.values()),
+                                 rounds=1, iterations=1)
+    tables = latency_cdf_tables(results)
+    emit("fig11_breakdown", *breakdown_table(results),
+         title="Fig. 11 companion — latency component breakdown, CPU")
+    emit("fig11a_cpu_scheduling_cdf", *tables["scheduling"],
+         title="Fig. 11(a) — scheduling latency CDF, CPU workload (ms)")
+    emit("fig11b_cpu_cold_start_cdf", *tables["cold_start"],
+         title="Fig. 11(b) — cold-start latency CDF, CPU workload (ms)")
+    emit("fig11c_cpu_exec_queue_cdf", *tables["exec_queue"],
+         title="Fig. 11(c) — execution (+queuing) latency CDF, CPU (ms)")
+
+    ours = cpu_results["FaaSBatch"]
+    vanilla = cpu_results["Vanilla"]
+    sfs = cpu_results["SFS"]
+    kraken = cpu_results["Kraken"]
+
+    # (a) FaaSBatch dispatches fastest at the tail; the Vanilla/SFS
+    # per-invocation decision path collapses under the burst.
+    assert ours.scheduling_cdf().quantile(0.98) < \
+        vanilla.scheduling_cdf().quantile(0.98) / 5
+    assert ours.scheduling_cdf().quantile(0.98) < \
+        sfs.scheduling_cdf().quantile(0.98) / 5
+    # Kraken is comparable to FaaSBatch but a gap opens late (the paper's
+    # "after the 96%-th latency" red line).
+    assert kraken.scheduling_cdf().quantile(0.98) < \
+        vanilla.scheduling_cdf().quantile(0.98) / 3
+    assert kraken.scheduling_cdf().quantile(0.98) >= \
+        ours.scheduling_cdf().quantile(0.98)
+
+    # (b) cold start: FaaSBatch lowest; Kraken close (it batches too).
+    assert ours.cold_start_cdf().quantile(0.98) <= \
+        vanilla.cold_start_cdf().quantile(0.98)
+    assert kraken.cold_start_cdf().quantile(0.98) <= \
+        vanilla.cold_start_cdf().quantile(0.98)
+
+    # (c) execution: all four comparable at the median...
+    medians = [r.execution_cdf().quantile(0.5) for r in results]
+    assert max(medians) < 30 * min(medians)
+    # ...but Kraken's Exec+Queue is far above everyone's pure execution.
+    assert kraken.execution_plus_queuing_cdf().quantile(0.9) > \
+        2 * vanilla.execution_plus_queuing_cdf().quantile(0.9)
+    # Only Kraken queues at all.
+    for name in ("Vanilla", "SFS", "FaaSBatch"):
+        assert cpu_results[name].total_queuing_ms() == 0.0

@@ -1,0 +1,61 @@
+"""Fig. 12 — latency CDFs for the I/O workload (4 schedulers).
+
+Expected shapes (§V-A): FaaSBatch delivers sub-second scheduling decisions
+for all invocations while Vanilla/SFS collapse (most decisions take
+seconds); Kraken stays mostly sub-second; baselines' execution spreads from
+tens of milliseconds to seconds because of redundant client creation, while
+FaaSBatch's execution sits in a narrow band (the paper reports 10–100 ms).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown_table, emit, latency_cdf_tables
+from repro.common.units import SECOND
+
+
+def test_fig12_io_latency_cdfs(benchmark, io_results):
+    results = benchmark.pedantic(lambda: list(io_results.values()),
+                                 rounds=1, iterations=1)
+    tables = latency_cdf_tables(results)
+    emit("fig12_breakdown", *breakdown_table(results),
+         title="Fig. 12 companion — latency component breakdown, I/O")
+    emit("fig12a_io_scheduling_cdf", *tables["scheduling"],
+         title="Fig. 12(a) — scheduling latency CDF, I/O workload (ms)")
+    emit("fig12b_io_cold_start_cdf", *tables["cold_start"],
+         title="Fig. 12(b) — cold-start latency CDF, I/O workload (ms)")
+    emit("fig12c_io_exec_queue_cdf", *tables["exec_queue"],
+         title="Fig. 12(c) — execution (+queuing) latency CDF, I/O (ms)")
+
+    ours = io_results["FaaSBatch"]
+    vanilla = io_results["Vanilla"]
+    sfs = io_results["SFS"]
+    kraken = io_results["Kraken"]
+
+    # (a) FaaSBatch: sub-second decisions for ALL invocations.
+    assert ours.scheduling_cdf().maximum < SECOND
+    # Kraken: nearly 90% of decisions under a second.
+    assert kraken.scheduling_cdf().quantile(0.9) < 1.5 * SECOND
+    # Vanilla/SFS: the majority of decisions take seconds.
+    assert vanilla.scheduling_cdf().quantile(0.5) > SECOND
+    assert sfs.scheduling_cdf().quantile(0.5) > SECOND
+
+    # (b) FaaSBatch has the lowest cold-start CDF.
+    assert ours.cold_start_cdf().quantile(0.98) <= \
+        vanilla.cold_start_cdf().quantile(0.98)
+    assert ours.cold_start_cdf().quantile(0.98) <= \
+        sfs.cold_start_cdf().quantile(0.98)
+
+    # (c) baselines spread over orders of magnitude; FaaSBatch stays in a
+    # narrow band.
+    for baseline in (vanilla, sfs):
+        spread = (baseline.execution_cdf().quantile(0.98)
+                  / baseline.execution_cdf().quantile(0.1))
+        assert spread > 5.0
+        assert baseline.execution_cdf().quantile(0.98) > SECOND
+    ours_execution = ours.execution_cdf()
+    assert ours_execution.quantile(0.9) < 1_000.0
+    band = ours_execution.quantile(0.9) / ours_execution.quantile(0.1)
+    assert band < 60.0  # little variation vs the baselines' x100+ spread
+
+    # Kraken's queue pushes half the I/O functions past ~1 second.
+    assert kraken.execution_plus_queuing_cdf().quantile(0.5) > 0.4 * SECOND

@@ -1,0 +1,69 @@
+"""Fig. 13 — resource cost of the CPU workload vs dispatch interval.
+
+Panels: (a) total memory, (b) provisioned containers, (c) CPU utilisation,
+each at dispatch intervals 0.01 s … 0.5 s.  Expected shapes (§V-B):
+FaaSBatch lowest on every panel; Vanilla/SFS spawn roughly one container
+per burst invocation regardless of interval; Kraken sits between, closer
+to FaaSBatch.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import emit, resource_cost_table
+from repro.common.stats import mean
+from repro.core import SWEEP_WINDOWS_MS
+from repro.platformsim import run_experiment
+
+from conftest import build_schedulers
+
+
+def run_sweep(cpu_trace, fib_spec, kraken_params):
+    results_by_window = {}
+    for window_ms in SWEEP_WINDOWS_MS:
+        results_by_window[window_ms] = [
+            run_experiment(scheduler, cpu_trace, [fib_spec],
+                           workload_label="cpu", window_ms=window_ms)
+            for scheduler in build_schedulers(kraken_params, window_ms)
+        ]
+    return results_by_window
+
+
+def test_fig13_cpu_resource_cost(benchmark, cpu_trace, fib_spec,
+                                 kraken_params_cpu):
+    results_by_window = benchmark.pedantic(
+        run_sweep, args=(cpu_trace, fib_spec, kraken_params_cpu),
+        rounds=1, iterations=1)
+    headers, rows = resource_cost_table(results_by_window)
+    emit("fig13_cpu_resource_cost", headers, rows,
+         title="Fig. 13 — CPU workload: memory / containers / CPU "
+               "vs dispatch interval")
+
+    def average(name, metric):
+        return mean([metric(next(r for r in results
+                                 if r.scheduler_name == name))
+                     for results in results_by_window.values()])
+
+    # (a) memory: FaaSBatch lowest on average across intervals.
+    for name in ("Vanilla", "SFS", "Kraken"):
+        assert average("FaaSBatch", lambda r: r.average_memory_mb()) < \
+            average(name, lambda r: r.average_memory_mb())
+
+    # (b) containers: Vanilla/SFS >> FaaSBatch; Kraken in between.
+    ours = average("FaaSBatch", lambda r: r.provisioned_containers)
+    vanilla = average("Vanilla", lambda r: r.provisioned_containers)
+    sfs = average("SFS", lambda r: r.provisioned_containers)
+    kraken = average("Kraken", lambda r: r.provisioned_containers)
+    assert vanilla > 5 * ours
+    assert sfs > 5 * ours
+    assert ours < kraken < vanilla
+
+    # The paper's §V-B2 statement: Vanilla and SFS spawn >80% more
+    # containers than FaaSBatch (reduction >= 80%).
+    assert (vanilla - ours) / vanilla > 0.8
+    assert (sfs - ours) / sfs > 0.8
+
+    # (c) CPU: FaaSBatch burns the least CPU.
+    for name in ("Vanilla", "SFS", "Kraken"):
+        assert average("FaaSBatch",
+                       lambda r: r.average_cpu_utilization()) <= \
+            average(name, lambda r: r.average_cpu_utilization()) + 1e-9

@@ -1,0 +1,83 @@
+"""Fig. 14 — resource cost of the I/O workload vs dispatch interval.
+
+Panels: (a) total memory, (b) provisioned containers, (c) CPU utilisation,
+(d) per-invocation client memory footprint.  Expected shapes (§V-B):
+FaaSBatch improves as the interval grows (more invocations per container,
+more multiplexer sharing) while Vanilla/SFS do not; the baselines pay
+~15 MB of client memory per invocation, FaaSBatch a small fraction
+(the paper reports 0.87 MB, ~1/16th).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import client_footprint_table, emit, resource_cost_table
+from repro.common.stats import mean
+from repro.core import SWEEP_WINDOWS_MS
+from repro.platformsim import run_experiment
+
+from conftest import build_schedulers
+
+
+def run_sweep(io_trace, io_spec, kraken_params):
+    results_by_window = {}
+    for window_ms in SWEEP_WINDOWS_MS:
+        results_by_window[window_ms] = [
+            run_experiment(scheduler, io_trace, [io_spec],
+                           workload_label="io", window_ms=window_ms)
+            for scheduler in build_schedulers(kraken_params, window_ms)
+        ]
+    return results_by_window
+
+
+def pick(results, name):
+    return next(r for r in results if r.scheduler_name == name)
+
+
+def test_fig14_io_resource_cost(benchmark, io_trace, io_spec,
+                                kraken_params_io):
+    results_by_window = benchmark.pedantic(
+        run_sweep, args=(io_trace, io_spec, kraken_params_io),
+        rounds=1, iterations=1)
+    headers, rows = resource_cost_table(results_by_window)
+    emit("fig14abc_io_resource_cost", headers, rows,
+         title="Fig. 14(a-c) — I/O workload: memory / containers / CPU "
+               "vs dispatch interval")
+    default_results = results_by_window[200.0]
+    headers, rows = client_footprint_table(default_results)
+    emit("fig14d_client_footprint", headers, rows,
+         title="Fig. 14(d) — client memory footprint per invocation (MB)")
+
+    def average(name, metric):
+        return mean([metric(pick(results, name))
+                     for results in results_by_window.values()])
+
+    # (a) memory: FaaSBatch lowest, with a decreasing trend in the window.
+    for name in ("Vanilla", "SFS", "Kraken"):
+        assert average("FaaSBatch", lambda r: r.average_memory_mb()) < \
+            average(name, lambda r: r.average_memory_mb()) / 2
+    ours_memory = [pick(results_by_window[w], "FaaSBatch").average_memory_mb()
+                   for w in sorted(results_by_window)]
+    assert ours_memory[-1] <= ours_memory[0] * 1.25  # non-increasing trend
+
+    # (b) containers: the paper's ~94% reduction vs Vanilla/SFS.
+    ours = average("FaaSBatch", lambda r: r.provisioned_containers)
+    vanilla = average("Vanilla", lambda r: r.provisioned_containers)
+    sfs = average("SFS", lambda r: r.provisioned_containers)
+    assert (vanilla - ours) / vanilla > 0.85
+    assert (sfs - ours) / sfs > 0.85
+    # FaaSBatch serves many invocations per container (paper: ~24).
+    ours_default = pick(default_results, "FaaSBatch")
+    assert ours_default.invocations_per_container() > 10.0
+
+    # (c) CPU: FaaSBatch saves a greater share than on the CPU workload.
+    for name in ("Vanilla", "SFS", "Kraken"):
+        baseline = average(name, lambda r: r.average_cpu_utilization())
+        assert average("FaaSBatch",
+                       lambda r: r.average_cpu_utilization()) < baseline / 2
+
+    # (d) per-invocation client footprint: baselines ~15 MB, ours ~1/16th.
+    for name in ("Vanilla", "SFS", "Kraken"):
+        footprint = pick(default_results, name).client_memory_footprint_mb()
+        assert abs(footprint - 15.0) < 0.5
+    ours_footprint = ours_default.client_memory_footprint_mb()
+    assert ours_footprint < 15.0 / 10.0

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Replay the paper's evaluation workloads through all four schedulers.
+
+This is a scaled-down version of the §V evaluation: the bursty replay
+minute (CPU flavour) and its first-N prefix (I/O flavour) run through
+Vanilla, SFS, Kraken (ported exactly as in the paper: SLO = Vanilla's
+98th-percentile latency, perfect workload prediction) and FaaSBatch.
+Prints the latency-CDF quantiles and resource costs behind Figs. 11-14.
+
+Run:  python examples/azure_replay_comparison.py [--full]
+      --full uses the paper's full sizes (800 CPU / 400 I/O invocations).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    FaaSBatchScheduler,
+    KrakenConfig,
+    KrakenParameters,
+    KrakenScheduler,
+    SfsScheduler,
+    VanillaScheduler,
+    cpu_workload_trace,
+    fib_function_spec,
+    io_function_spec,
+    io_workload_trace,
+    run_experiment,
+)
+from repro.analysis import latency_cdf_tables, render_cdf_plot
+from repro.common.tables import render_table
+from repro.platformsim.results import ExperimentResult
+
+
+def run_workload(label, trace, spec):
+    print(f"\n=== {label} workload: {len(trace)} invocations ===")
+    vanilla = run_experiment(VanillaScheduler(), trace, [spec],
+                             workload_label=label)
+    sfs = run_experiment(SfsScheduler(), trace, [spec],
+                         workload_label=label)
+    params = KrakenParameters.from_invocations(vanilla.invocations)
+    kraken = run_experiment(
+        KrakenScheduler(KrakenConfig(parameters=params)), trace, [spec],
+        workload_label=label)
+    ours = run_experiment(FaaSBatchScheduler(), trace, [spec],
+                          workload_label=label)
+    results = [vanilla, sfs, kraken, ours]
+
+    rows = [result.summary_row() for result in results]
+    print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
+                       title=f"{label}: scheduler summary"))
+
+    tables = latency_cdf_tables(results)
+    for panel, (headers, table_rows) in tables.items():
+        print(render_table(headers, table_rows,
+                           title=f"{label}: {panel} latency CDF"))
+    print(render_cdf_plot(
+        {r.scheduler_name: r.end_to_end_cdf() for r in results},
+        title=f"{label}: end-to-end invocation latency CDF"))
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full workload sizes")
+    args = parser.parse_args()
+
+    cpu_total = 800 if args.full else 250
+    io_total = 400 if args.full else 150
+
+    run_workload("CPU", cpu_workload_trace(total=cpu_total),
+                 fib_function_spec())
+    io_results = run_workload("I/O", io_workload_trace(total=io_total),
+                              io_function_spec())
+
+    print("Per-invocation client memory footprint (Fig. 14d):")
+    for result in io_results:
+        print(f"  {result.scheduler_name:10s} "
+              f"{result.client_memory_footprint_mb():6.2f} MB "
+              f"({result.clients_created} clients for "
+              f"{len(result.invocations)} invocations)")
+
+
+if __name__ == "__main__":
+    main()

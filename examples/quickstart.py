@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: run FaaSBatch against Vanilla on a small Azure-style burst.
+
+Builds a 200-invocation CPU workload from the paper's duration
+distribution, runs it through both schedulers on the simulated 32-core
+worker, and prints the comparison the paper's abstract is about: fewer
+containers, less memory, lower tail latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FaaSBatchScheduler,
+    VanillaScheduler,
+    cpu_workload_trace,
+    fib_function_spec,
+    run_experiment,
+)
+from repro.analysis import SchedulerComparison, STANDARD_METRICS
+from repro.common.tables import render_table
+from repro.platformsim.results import ExperimentResult
+
+
+def main() -> None:
+    trace = cpu_workload_trace(total=200)
+    fib = fib_function_spec()
+
+    print(f"Replaying {len(trace)} fib invocations over "
+          f"{trace.duration_ms / 1000:.0f}s of simulated time...\n")
+
+    vanilla = run_experiment(VanillaScheduler(), trace, [fib],
+                             workload_label="quickstart")
+    ours = run_experiment(FaaSBatchScheduler(), trace, [fib],
+                          workload_label="quickstart")
+
+    rows = [result.summary_row() for result in (vanilla, ours)]
+    print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
+                       title="Vanilla vs FaaSBatch (CPU workload)"))
+
+    comparison = SchedulerComparison([vanilla, ours])
+    print(render_table(
+        comparison.REDUCTION_HEADERS, comparison.reduction_table(),
+        title="Reductions achieved by FaaSBatch"))
+
+    containers = next(m for m in STANDARD_METRICS if m.key == "containers")
+    print(f"FaaSBatch served the same {len(trace)} invocations with "
+          f"{comparison.reduction('Vanilla', containers):.1f}% fewer "
+          f"containers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The REAL (non-simulated) FaaSBatch runtime on live threads.
+
+Registers an I/O handler that builds an expensive storage client
+(Listing 1 of the paper), fires a burst of invocations through both the
+FaaSBatch policy and the Vanilla policy, and shows — with wall-clock time
+and live object identity — what batching + resource multiplexing buys:
+
+* FaaSBatch: one container, one client instance, sub-construction-cost
+  latency for everyone after the first invocation;
+* Vanilla: a container per invocation, a client per invocation.
+
+Run:  python examples/real_runtime_multiplexing.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.local import (
+    FakeS3Client,
+    InMemoryBucketStore,
+    LocalPlatform,
+    LocalPlatformConfig,
+)
+
+BURST = 40
+CONSTRUCTION_SECONDS = 0.02  # scaled-down version of the paper's 66 ms
+
+
+def build_handler(store: InMemoryBucketStore):
+    def io_handler(payload, context):
+        client = context.create_resource(
+            FakeS3Client, "ACCESS_KEY", "SECRET_KEY",
+            store=store, construction_seconds=CONSTRUCTION_SECONDS)
+        client.put_object(Bucket="results", Key=f"obj-{payload}",
+                          Body=b"intermediate-data")
+        return id(client)
+
+    return io_handler
+
+
+def run_policy(label: str, config: LocalPlatformConfig) -> None:
+    store = InMemoryBucketStore()
+    platform = LocalPlatform(config)
+    platform.register("io", build_handler(store))
+
+    started = time.monotonic()
+    futures = platform.invoke_many("io", list(range(BURST)))
+    platform.drain()
+    elapsed = time.monotonic() - started
+
+    client_ids = {future.result() for future in futures}
+    latencies = sorted(platform.latencies_seconds())
+    p50 = latencies[len(latencies) // 2]
+    print(f"\n--- {label} ---")
+    print(f"  burst size            : {BURST}")
+    print(f"  wall-clock time       : {elapsed * 1000:.1f} ms")
+    print(f"  containers created    : {platform.containers_created}")
+    print(f"  distinct client objects: {len(client_ids)}")
+    print(f"  median latency        : {p50 * 1000:.1f} ms")
+    print(f"  blobs written         : {len(store)}")
+    if config.use_multiplexer:
+        print(f"  multiplexer reuse     : "
+              f"{platform.multiplexer_reuse_ratio() * 100:.0f}%")
+    platform.shutdown()
+
+
+def main() -> None:
+    print("Firing a burst of I/O invocations through two live runtimes...")
+    run_policy("FaaSBatch (batch + expand + multiplex)",
+               LocalPlatformConfig(window_seconds=0.05,
+                                   cold_start_seconds=0.002))
+    run_policy("Vanilla (container per invocation, no sharing)",
+               LocalPlatformConfig.vanilla())
+    print("\nThe FaaSBatch run built ONE client and shared it across the "
+          "whole burst;\nVanilla built one per invocation and paid the "
+          "construction cost every time.")
+
+
+if __name__ == "__main__":
+    main()

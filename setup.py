@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+The offline environment ships setuptools 65 (no ``bdist_wheel``), so the
+PEP 517 editable path fails; pip falls back to this legacy path with
+``--no-use-pep517`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

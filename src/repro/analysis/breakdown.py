@@ -1,0 +1,81 @@
+"""Latency breakdown analysis: where each policy's time goes.
+
+The paper narrates its CDFs component by component; this helper reduces an
+experiment result to a per-component summary (mean and tail of scheduling,
+cold-start, queuing, execution) so tables can show at a glance *why* one
+policy beats another — e.g. Vanilla losing on scheduling+cold start while
+Kraken loses on queuing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.stats import SampleStats
+from repro.platformsim.results import ExperimentResult
+
+COMPONENTS = ("scheduling", "cold_start", "queuing", "execution")
+
+
+@dataclass(frozen=True)
+class ComponentSummary:
+    """Mean / p50 / p98 of one latency component (milliseconds)."""
+
+    component: str
+    mean_ms: float
+    p50_ms: float
+    p98_ms: float
+    share_of_total: float  # fraction of the summed mean latency
+
+
+def summarize_components(result: ExperimentResult) -> List[ComponentSummary]:
+    """Reduce a result to per-component summaries (successful only)."""
+    invocations = result.successful_invocations()
+    if not invocations:
+        raise ValueError("no successful invocations to summarise")
+    stats = {
+        "scheduling": SampleStats(i.latency.scheduling_ms
+                                  for i in invocations),
+        "cold_start": SampleStats(i.latency.cold_start_ms
+                                  for i in invocations),
+        "queuing": SampleStats(i.latency.queuing_ms for i in invocations),
+        "execution": SampleStats(i.latency.execution_ms
+                                 for i in invocations),
+    }
+    total_mean = sum(s.mean for s in stats.values())
+    summaries = []
+    for component in COMPONENTS:
+        component_stats = stats[component]
+        summaries.append(ComponentSummary(
+            component=component,
+            mean_ms=component_stats.mean,
+            p50_ms=component_stats.median,
+            p98_ms=component_stats.percentile(98.0),
+            share_of_total=(component_stats.mean / total_mean
+                            if total_mean > 0 else 0.0)))
+    return summaries
+
+
+def breakdown_table(results: Sequence[ExperimentResult]):
+    """``(headers, rows)`` with one row per (scheduler, component)."""
+    headers = ["scheduler", "component", "mean_ms", "p50_ms", "p98_ms",
+               "share_%"]
+    rows: List[List[object]] = []
+    for result in results:
+        for summary in summarize_components(result):
+            rows.append([
+                result.scheduler_name,
+                summary.component,
+                round(summary.mean_ms, 2),
+                round(summary.p50_ms, 2),
+                round(summary.p98_ms, 2),
+                round(summary.share_of_total * 100.0, 1),
+            ])
+    return headers, rows
+
+
+def dominant_component(result: ExperimentResult) -> str:
+    """The component contributing the most mean latency."""
+    summaries = summarize_components(result)
+    return max(summaries, key=lambda s: s.mean_ms).component

@@ -1,0 +1,43 @@
+"""Report assembly: print figure tables and persist CSV artefacts.
+
+The benchmark files call :func:`emit` for every regenerated table/figure so
+that ``pytest benchmarks/ --benchmark-only`` leaves both human-readable
+output (stdout, captured by pytest) and machine-readable CSVs under
+``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.common.tables import render_table, to_csv
+
+#: Where benchmark artefacts are written (created on demand).
+DEFAULT_OUTPUT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "out"
+
+
+def emit(name: str,
+         headers: Sequence[str],
+         rows: Sequence[Sequence[object]],
+         title: Optional[str] = None,
+         output_dir: Optional[Path] = None) -> str:
+    """Print a table and write ``<output_dir>/<name>.csv``; returns the text."""
+    text = render_table(headers, rows, title=title or name)
+    print()
+    print(text, end="")
+    directory = output_dir if output_dir is not None else DEFAULT_OUTPUT_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.csv").write_text(to_csv(headers, rows))
+    return text
+
+
+def emit_lines(name: str, lines: List[str],
+               output_dir: Optional[Path] = None) -> None:
+    """Print and persist free-form report lines (headline claims etc.)."""
+    print()
+    for line in lines:
+        print(line)
+    directory = output_dir if output_dir is not None else DEFAULT_OUTPUT_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.txt").write_text("\n".join(lines) + "\n")

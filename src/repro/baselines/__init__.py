@@ -1,0 +1,22 @@
+"""Baseline schedulers: Vanilla, Kraken, SFS (§IV)."""
+
+from repro.baselines.base import CpuDiscipline, Scheduler
+from repro.baselines.kraken import (
+    KrakenConfig,
+    KrakenMode,
+    KrakenParameters,
+    KrakenScheduler,
+)
+from repro.baselines.sfs import SfsScheduler
+from repro.baselines.vanilla import VanillaScheduler
+
+__all__ = [
+    "CpuDiscipline",
+    "KrakenConfig",
+    "KrakenMode",
+    "KrakenParameters",
+    "KrakenScheduler",
+    "Scheduler",
+    "SfsScheduler",
+    "VanillaScheduler",
+]

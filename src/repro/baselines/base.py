@@ -1,0 +1,67 @@
+"""Scheduler interface shared by FaaSBatch and the three baselines.
+
+A scheduler is a *policy* object.  The experiment harness constructs the
+platform, then calls :meth:`Scheduler.start` exactly once; the scheduler
+spawns its serving processes (typically one loop consuming the platform's
+request queue) and dispatches invocations until the run ends.
+
+Schedulers also declare which CPU discipline their worker machine uses:
+every policy runs on the default fair-share CPU except SFS, which brings its
+own user-space scheduling discipline (:class:`repro.sim.sfs_cpu.SfsCpu`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, TYPE_CHECKING
+
+from repro.model.container import SimContainer
+from repro.model.function import Invocation
+from repro.common.eventlog import EventKind
+from repro.sim.machine import CpuDiscipline
+
+if TYPE_CHECKING:
+    from repro.platformsim.platform import ServerlessPlatform
+
+__all__ = ["CpuDiscipline", "Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Base class for scheduling policies."""
+
+    #: Human-readable policy name (used in every report).
+    name: str = "abstract"
+    #: CPU discipline this policy's worker uses.
+    cpu_discipline: CpuDiscipline = CpuDiscipline.FAIR_SHARE
+
+    @abc.abstractmethod
+    def start(self, platform: "ServerlessPlatform") -> None:
+        """Spawn the policy's serving processes on *platform*."""
+
+    # -- shared helpers -----------------------------------------------------------
+
+    @staticmethod
+    def run_on_container(platform: "ServerlessPlatform",
+                         container: SimContainer,
+                         invocations: List[Invocation],
+                         cold_start_ms: float):
+        """Generator: dispatch *invocations* to *container* and await them.
+
+        Stamps dispatch (splitting scheduling vs. cold-start latency exactly
+        as §IV prescribes), runs the batch, notes completions, and returns
+        the container to the keep-alive pool.
+        """
+        now = platform.env.now
+        for invocation in invocations:
+            invocation.mark_dispatched(now, cold_start_ms)
+        platform.event_log.record(now, EventKind.BATCH_STARTED,
+                                  container_id=container.container_id,
+                                  batch_size=len(invocations))
+        yield container.execute_batch(invocations)
+        # Batch semantics shared by all published batch schemes (§III-C):
+        # the response returns when the whole (sub-)batch has completed.
+        now = platform.env.now
+        for invocation in invocations:
+            invocation.mark_responded(now)
+            platform.note_completed(invocation)
+        platform.release_container(container)

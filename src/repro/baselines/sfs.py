@@ -1,0 +1,27 @@
+"""SFS: per-invocation containers with user-space SFS CPU scheduling.
+
+SFS (the paper's [23]) keeps Vanilla's one-container-per-invocation model —
+"it provides an easy-to-port version that only needs to transfer the PID of
+a function invocation" (§IV) — but replaces the kernel's fair-share CPU
+scheduling with its own discipline: per-core channels, adaptive time slices
+driven by the request inter-arrival time, and demotion of long-running
+functions to a background queue.  Short functions finish quickly; long
+functions pay for it.
+
+In this reproduction the policy object is identical to Vanilla; the
+difference is the worker machine's CPU discipline
+(:class:`repro.sim.sfs_cpu.SfsCpu`), which the experiment harness installs
+when it sees ``cpu_discipline = SFS``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CpuDiscipline
+from repro.baselines.vanilla import VanillaScheduler
+
+
+class SfsScheduler(VanillaScheduler):
+    """Vanilla's container model + the SFS CPU scheduling discipline."""
+
+    name = "SFS"
+    cpu_discipline = CpuDiscipline.SFS

@@ -1,0 +1,224 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands
+-----------
+``compare``       run the four schedulers on a workload, print summary +
+                  latency CDFs and reduction tables.
+``sweep``         sweep FaaSBatch's dispatch interval (the §V-B5 study).
+``trace``         generate a workload trace and write it to CSV.
+``sample-azure``  write small sample files in the real Azure trace format.
+``replay-azure``  replay real (or sample) Azure trace files.
+
+Examples::
+
+    python -m repro compare --workload io --total 200
+    python -m repro sweep --workload io --windows 10,100,200,500
+    python -m repro trace --workload cpu --total 800 --out replay.csv
+    python -m repro sample-azure --dir ./azure-sample
+    python -m repro replay-azure --dir ./azure-sample --top 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import SchedulerComparison, latency_cdf_tables
+from repro.baselines import (
+    KrakenConfig,
+    KrakenParameters,
+    KrakenScheduler,
+    SfsScheduler,
+    VanillaScheduler,
+)
+from repro.common.tables import render_table
+from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.platformsim import ExperimentResult, run_experiment
+from repro.workload import (
+    cpu_workload_trace,
+    fib_function_spec,
+    io_function_spec,
+    io_workload_trace,
+)
+from repro.workload.azurefile import (
+    MINUTES_PER_DAY,
+    AzureTraceBuilder,
+    write_sample_files,
+)
+
+DEFAULT_TOTALS = {"cpu": 800, "io": 400}
+
+
+def _workload(name: str, total: Optional[int], seed: int):
+    """Return (trace, [spec]) for the named paper workload."""
+    size = total if total is not None else DEFAULT_TOTALS[name]
+    if name == "cpu":
+        return cpu_workload_trace(seed=seed, total=size), \
+            [fib_function_spec()]
+    return io_workload_trace(seed=seed, total=size), [io_function_spec()]
+
+
+def _run_all_schedulers(trace, specs, window_ms: float,
+                        label: str) -> List[ExperimentResult]:
+    vanilla = run_experiment(VanillaScheduler(), trace, specs,
+                             workload_label=label)
+    sfs = run_experiment(SfsScheduler(), trace, specs, workload_label=label)
+    params = KrakenParameters.from_invocations(vanilla.invocations)
+    kraken = run_experiment(
+        KrakenScheduler(KrakenConfig(parameters=params,
+                                     window_ms=window_ms)),
+        trace, specs, workload_label=label)
+    ours = run_experiment(
+        FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)),
+        trace, specs, workload_label=label)
+    return [vanilla, sfs, kraken, ours]
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace, specs = _workload(args.workload, args.total, args.seed)
+    print(f"Running 4 schedulers over {len(trace)} {args.workload} "
+          f"invocations (window {args.window} ms)...")
+    results = _run_all_schedulers(trace, specs, args.window, args.workload)
+    rows = [result.summary_row() for result in results]
+    print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
+                       title="Scheduler summary"))
+    if args.cdfs:
+        for panel, (headers, table_rows) in \
+                latency_cdf_tables(results).items():
+            print(render_table(headers, table_rows,
+                               title=f"{panel} latency CDF"))
+    comparison = SchedulerComparison(results)
+    print(render_table(comparison.REDUCTION_HEADERS,
+                       comparison.reduction_table(),
+                       title="Reductions achieved by FaaSBatch"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    trace, specs = _workload(args.workload, args.total, args.seed)
+    windows = [float(w) for w in args.windows.split(",")]
+    rows = []
+    for window_ms in windows:
+        scheduler = FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms))
+        result = run_experiment(scheduler, trace, specs,
+                                workload_label=args.workload,
+                                window_ms=window_ms)
+        stats = result.latency_stats()
+        rows.append([window_ms / 1000.0, result.provisioned_containers,
+                     round(result.average_memory_mb(), 1),
+                     round(stats.median, 1),
+                     round(stats.percentile(98.0), 1)])
+    print(render_table(
+        ["window_s", "containers", "avg_mem_MB", "p50_ms", "p98_ms"], rows,
+        title=f"FaaSBatch dispatch-interval sweep ({args.workload})"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace, _specs = _workload(args.workload, args.total, args.seed)
+    trace.to_csv(args.out)
+    print(f"Wrote {len(trace)} records to {args.out}")
+    return 0
+
+
+def cmd_sample_azure(args: argparse.Namespace) -> int:
+    invocations_path, durations_path = write_sample_files(
+        args.dir, functions=args.functions, seed=args.seed)
+    print(f"Wrote {invocations_path}")
+    print(f"Wrote {durations_path}")
+    return 0
+
+
+def cmd_replay_azure(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    invocations = args.invocations or next(
+        iter(sorted(directory.glob("invocations_per_function*.csv"))), None)
+    durations = args.durations or next(
+        iter(sorted(directory.glob("function_durations*.csv"))), None)
+    if invocations is None or durations is None:
+        print("error: could not locate trace files; pass --invocations "
+              "and --durations", file=sys.stderr)
+        return 2
+    builder = AzureTraceBuilder.from_files(invocations, durations,
+                                           seed=args.seed)
+    keys = builder.hottest_functions(args.top)
+    start, end = args.start_minute, args.end_minute
+    trace = builder.build_trace(keys, start_minute=start, end_minute=end)
+    specs = builder.build_specs(keys)
+    print(f"Replaying {len(trace)} invocations of {len(keys)} hottest "
+          f"functions (minutes {start}-{end})...")
+    results = _run_all_schedulers(trace, specs, args.window, "azure-file")
+    rows = [result.summary_row() for result in results]
+    print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
+                       title="Scheduler summary (Azure trace replay)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--seed", type=int, default=13)
+
+    compare = sub.add_parser("compare",
+                             help="run all four schedulers on a workload")
+    compare.add_argument("--workload", choices=("cpu", "io"), default="cpu")
+    compare.add_argument("--total", type=int, default=None,
+                         help="invocation count (default: paper sizes)")
+    compare.add_argument("--window", type=float, default=200.0,
+                         help="dispatch window in ms")
+    compare.add_argument("--cdfs", action="store_true",
+                         help="print the latency CDF panels too")
+    add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="sweep the dispatch interval")
+    sweep.add_argument("--workload", choices=("cpu", "io"), default="io")
+    sweep.add_argument("--total", type=int, default=200)
+    sweep.add_argument("--windows", default="10,100,200,500",
+                       help="comma-separated window sizes in ms")
+    add_common(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    trace = sub.add_parser("trace", help="write a generated trace to CSV")
+    trace.add_argument("--workload", choices=("cpu", "io"), default="cpu")
+    trace.add_argument("--total", type=int, default=None)
+    trace.add_argument("--out", required=True)
+    add_common(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    sample = sub.add_parser("sample-azure",
+                            help="write sample Azure-format trace files")
+    sample.add_argument("--dir", required=True)
+    sample.add_argument("--functions", type=int, default=5)
+    add_common(sample)
+    sample.set_defaults(func=cmd_sample_azure)
+
+    replay = sub.add_parser("replay-azure",
+                            help="replay real Azure trace files")
+    replay.add_argument("--dir", default=".",
+                        help="directory to search for the trace files")
+    replay.add_argument("--invocations", default=None)
+    replay.add_argument("--durations", default=None)
+    replay.add_argument("--top", type=int, default=3,
+                        help="replay the K hottest functions")
+    replay.add_argument("--start-minute", type=int, default=0)
+    replay.add_argument("--end-minute", type=int, default=MINUTES_PER_DAY)
+    replay.add_argument("--window", type=float, default=200.0)
+    add_common(replay)
+    replay.set_defaults(func=cmd_replay_azure)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

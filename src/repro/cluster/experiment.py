@@ -1,0 +1,156 @@
+"""Cluster experiments: several workers, one arrival stream, one balancer.
+
+Each worker is a full single-machine platform (its own CPU, memory, pool
+and scheduler instance); the cluster gateway replays the trace and routes
+every request through the balancer.  The headline question this answers:
+how much of FaaSBatch's benefit survives routing that scatters a
+function's burst across workers? (See ``benchmarks/test_cluster_routing.py``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import Scheduler
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.stats import SampleStats
+from repro.common.units import HOUR
+from repro.cluster.balancer import Balancer, make_balancer
+from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.model.function import FunctionSpec, Invocation
+from repro.platformsim.platform import ServerlessPlatform
+from repro.sim.kernel import Environment
+from repro.sim.machine import Machine, build_cpu
+from repro.workload.trace import Trace
+
+#: Builds a fresh scheduler per worker (schedulers hold per-platform state).
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate and per-worker outcome of one cluster run."""
+
+    balancer_name: str
+    workers: int
+    invocations: List[Invocation]
+    per_worker_invocations: List[int]
+    per_worker_containers: List[int]
+    per_worker_memory_mb: List[float]
+    completion_ms: float
+
+    @property
+    def total_containers(self) -> int:
+        return sum(self.per_worker_containers)
+
+    @property
+    def total_memory_mb(self) -> float:
+        return sum(self.per_worker_memory_mb)
+
+    def latency_stats(self) -> SampleStats:
+        return SampleStats(inv.end_to_end_ms for inv in self.invocations)
+
+    def load_imbalance(self) -> float:
+        """max/mean of per-worker invocation counts (1.0 = perfect)."""
+        counts = self.per_worker_invocations
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            raise SimulationError("no invocations routed")
+        return max(counts) / mean
+
+    def summary_row(self) -> List[object]:
+        stats = self.latency_stats()
+        return [self.balancer_name, self.workers,
+                self.total_containers,
+                round(self.total_memory_mb, 1),
+                round(stats.median, 1),
+                round(stats.percentile(98.0), 1),
+                round(self.load_imbalance(), 2)]
+
+    SUMMARY_HEADERS = ["balancer", "workers", "containers", "peak_mem_MB",
+                       "p50_ms", "p98_ms", "imbalance"]
+
+
+def run_cluster_experiment(scheduler_factory: SchedulerFactory,
+                           trace: Trace,
+                           functions: Sequence[FunctionSpec],
+                           workers: int = 4,
+                           balancer: str = "function-affinity",
+                           calibration: Calibration = DEFAULT_CALIBRATION,
+                           timeout_ms: Optional[float] = None,
+                           ) -> ClusterResult:
+    """Run *trace* over a cluster of *workers* identical machines."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if timeout_ms is None:
+        timeout_ms = trace.end_ms + 2.0 * HOUR
+    env = Environment()
+    platforms: List[ServerlessPlatform] = []
+    schedulers: List[Scheduler] = []
+    for _ in range(workers):
+        scheduler = scheduler_factory()
+        cpu = build_cpu(env, scheduler.cpu_discipline,
+                        calibration.worker_cores)
+        machine = Machine(env, cores=calibration.worker_cores,
+                          memory_gb=calibration.worker_memory_gb, cpu=cpu)
+        platform = ServerlessPlatform(env, machine, calibration)
+        for spec in functions:
+            platform.register_function(spec)
+        scheduler.start(platform)
+        platforms.append(platform)
+        schedulers.append(scheduler)
+
+    router: Balancer = make_balancer(balancer, platforms)
+
+    all_done = env.event()
+    completed: List[Invocation] = []
+
+    def on_complete(invocation: Invocation) -> None:
+        completed.append(invocation)
+        if len(completed) == len(trace):
+            all_done.succeed(len(completed))
+
+    for platform in platforms:
+        platform.completion_listeners.append(on_complete)
+
+    def replay():
+        for record in trace:
+            delay = record.arrival_ms - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            router.pick(record.function_id).submit(record)
+
+    env.process(replay(), name="cluster-gateway")
+
+    def waiter():
+        yield all_done
+
+    env.run_process(env.process(waiter(), name="cluster-waiter"),
+                    until=timeout_ms)
+
+    return ClusterResult(
+        balancer_name=router.name,
+        workers=workers,
+        invocations=completed,
+        per_worker_invocations=[len(p.completed) for p in platforms],
+        per_worker_containers=[p.provisioned_containers()
+                               for p in platforms],
+        per_worker_memory_mb=[p.machine.memory.peak_mb for p in platforms],
+        completion_ms=env.now)
+
+
+def compare_balancers(scheduler_factory: SchedulerFactory,
+                      trace: Trace,
+                      functions: Sequence[FunctionSpec],
+                      workers: int = 4,
+                      balancers: Sequence[str] = ("round-robin",
+                                                  "least-loaded",
+                                                  "function-affinity"),
+                      calibration: Calibration = DEFAULT_CALIBRATION,
+                      ) -> Dict[str, ClusterResult]:
+    """Run the same workload under several routing policies."""
+    return {name: run_cluster_experiment(
+                scheduler_factory, trace, functions, workers=workers,
+                balancer=name, calibration=calibration)
+            for name in balancers}

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the FaaSBatch reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch one type to shield themselves from the whole package.  The
+sub-hierarchy mirrors the package layout: simulation-kernel faults, model
+faults (containers, functions, storage), scheduling faults and configuration
+faults are distinct so that tests and users can assert on precise failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid value was supplied for a configuration knob."""
+
+
+class SimulationError(ReproError):
+    """Base class for faults raised by the discrete-event kernel."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to abort :meth:`Environment.run` early."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was triggered (succeeded or failed) more than once."""
+
+
+class ProcessInterrupted(SimulationError):
+    """A simulated process was interrupted while waiting on an event.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.kernel.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced an inconsistent decision (internal invariant)."""
+
+
+class ContainerError(ReproError):
+    """Base class for container-lifecycle faults."""
+
+
+class ContainerStateError(ContainerError):
+    """A container operation was attempted in an illegal lifecycle state."""
+
+
+class ContainerNotFound(ContainerError):
+    """Lookup of a container by id failed."""
+
+
+class FunctionNotRegistered(ReproError):
+    """An invocation referenced a function id unknown to the platform."""
+
+
+class CapacityExceeded(ReproError):
+    """A resource request exceeded the machine's physical capacity."""
+
+
+class WorkloadError(ReproError):
+    """A workload description or trace file is malformed."""
+
+
+class MultiplexerError(ReproError):
+    """The resource multiplexer was misused (e.g. unhashable arguments)."""

@@ -1,0 +1,125 @@
+"""Structured decision log: what the platform did, and when.
+
+Debugging a scheduling policy from aggregate CDFs alone is painful; the
+decision log records every notable platform event (request arrival,
+dispatch decision, cold start, batch execution, container release/expiry,
+completion) as typed records that tests and users can filter and assert on.
+
+Logging is off by default (experiments at full scale produce tens of
+thousands of events); enable it per platform via
+``platform.event_log.enable()`` or by passing an :class:`EventLog` you
+constructed with ``enabled=True``.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    """The platform events worth recording."""
+
+    REQUEST_ARRIVED = "request-arrived"
+    DISPATCH_DECISION = "dispatch-decision"
+    LAUNCH_DECISION = "launch-decision"
+    COLD_START_BEGAN = "cold-start-began"
+    COLD_START_ENDED = "cold-start-ended"
+    WARM_HIT = "warm-hit"
+    BATCH_STARTED = "batch-started"
+    INVOCATION_COMPLETED = "invocation-completed"
+    INVOCATION_FAILED = "invocation-failed"
+    CONTAINER_RELEASED = "container-released"
+    CONTAINER_EXPIRED = "container-expired"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured event."""
+
+    time_ms: float
+    kind: EventKind
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.details.get(key, default)
+
+
+class EventLog:
+    """An append-only, filterable event log."""
+
+    def __init__(self, enabled: bool = False,
+                 capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds memory: older records are dropped FIFO."""
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[LogRecord] = []
+        self.dropped = 0
+
+    def enable(self) -> "EventLog":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "EventLog":
+        self.enabled = False
+        return self
+
+    def record(self, time_ms: float, kind: EventKind,
+               **details: object) -> None:
+        """Append one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(LogRecord(time_ms=time_ms, kind=kind,
+                                       details=details))
+        if self.capacity is not None and len(self._records) > self.capacity:
+            overflow = len(self._records) - self.capacity
+            del self._records[:overflow]
+            self.dropped += overflow
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: EventKind) -> List[LogRecord]:
+        return [r for r in self._records if r.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for r in self._records if r.kind is kind)
+
+    def between(self, start_ms: float, end_ms: float) -> List[LogRecord]:
+        """Records with ``start_ms <= time < end_ms``."""
+        if end_ms < start_ms:
+            raise ValueError("end before start")
+        return [r for r in self._records
+                if start_ms <= r.time_ms < end_ms]
+
+    def for_container(self, container_id: str) -> List[LogRecord]:
+        return [r for r in self._records
+                if r.get("container_id") == container_id]
+
+    def for_invocation(self, invocation_id: str) -> List[LogRecord]:
+        return [r for r in self._records
+                if r.get("invocation_id") == invocation_id]
+
+    # -- export ------------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Flatten the log to CSV (time, kind, detail key=value pairs)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["time_ms", "kind", "details"])
+        for record in self._records:
+            detail_text = ";".join(
+                f"{key}={value}" for key, value in
+                sorted(record.details.items()))
+            writer.writerow([record.time_ms, record.kind.value, detail_text])
+        return buffer.getvalue()

@@ -1,0 +1,96 @@
+"""Fixed-bucket histograms.
+
+Figure 9 of the paper is a histogram of function durations over irregular
+buckets (``[0, 50) ms``, ``[50, 100) ms``, ..., ``[1550, inf)``).
+:class:`BucketHistogram` supports exactly that: arbitrary, contiguous,
+half-open buckets with an optional unbounded tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A half-open bucket ``[lower, upper)``; ``upper=None`` means unbounded."""
+
+    lower: float
+    upper: Optional[float]
+
+    def contains(self, value: float) -> bool:
+        if value < self.lower:
+            return False
+        return self.upper is None or value < self.upper
+
+    def label(self) -> str:
+        if self.upper is None:
+            return f"[{self.lower:g}, inf)"
+        return f"[{self.lower:g}, {self.upper:g})"
+
+
+class BucketHistogram:
+    """Counts samples in contiguous half-open buckets."""
+
+    def __init__(self, edges: Sequence[float], unbounded_tail: bool = True) -> None:
+        """Build buckets from sorted *edges*.
+
+        ``edges = [0, 50, 100]`` with an unbounded tail yields buckets
+        ``[0,50) [50,100) [100,inf)``; without it, ``[0,50) [50,100)``.
+        """
+        if len(edges) < 2:
+            raise ValueError("need at least two edges")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("edges must be strictly increasing")
+        buckets: List[Bucket] = []
+        for lower, upper in zip(edges, edges[1:]):
+            buckets.append(Bucket(lower, upper))
+        if unbounded_tail:
+            buckets.append(Bucket(edges[-1], None))
+        self._buckets = tuple(buckets)
+        self._counts = [0] * len(buckets)
+        self._below = 0  # samples below the first edge
+        self._total = 0
+
+    @property
+    def buckets(self) -> Tuple[Bucket, ...]:
+        return self._buckets
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def add(self, value: float) -> None:
+        """Count one sample."""
+        self._total += 1
+        if value < self._buckets[0].lower:
+            self._below += 1
+            return
+        for i, bucket in enumerate(self._buckets):
+            if bucket.contains(value):
+                self._counts[i] += 1
+                return
+        # Only reachable without an unbounded tail.
+        self._below += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def count(self, index: int) -> int:
+        return self._counts[index]
+
+    def fraction(self, index: int) -> float:
+        """Fraction of all samples in bucket *index*."""
+        if self._total == 0:
+            raise ValueError("empty histogram")
+        return self._counts[index] / self._total
+
+    def fractions(self) -> List[float]:
+        return [self.fraction(i) for i in range(len(self._buckets))]
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """Return ``(label, count, fraction)`` per bucket for reporting."""
+        return [(b.label(), self._counts[i], self.fraction(i))
+                for i, b in enumerate(self._buckets)]

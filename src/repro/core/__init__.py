@@ -1,0 +1,30 @@
+"""FaaSBatch core: Invoke Mapper, Inline-Parallel Producer, Resource Multiplexer."""
+
+from repro.core.config import (
+    DEFAULT_WINDOW_MS,
+    SWEEP_WINDOWS_MS,
+    FaaSBatchConfig,
+)
+from repro.core.mapper import FunctionGroup, InvokeMapper
+from repro.core.multiplexer import (
+    Lookup,
+    LookupOutcome,
+    MultiplexerStats,
+    SimResourceMultiplexer,
+)
+from repro.core.producer import InlineParallelProducer
+from repro.core.scheduler import FaaSBatchScheduler
+
+__all__ = [
+    "DEFAULT_WINDOW_MS",
+    "FaaSBatchConfig",
+    "FaaSBatchScheduler",
+    "FunctionGroup",
+    "InlineParallelProducer",
+    "InvokeMapper",
+    "Lookup",
+    "LookupOutcome",
+    "MultiplexerStats",
+    "SWEEP_WINDOWS_MS",
+    "SimResourceMultiplexer",
+]

@@ -1,0 +1,38 @@
+"""Real in-process FaaSBatch runtime: threads, genuine resource multiplexing."""
+
+from repro.local.clients import (
+    DEFAULT_STORE,
+    FakeBlobServiceClient,
+    FakeS3Client,
+    InMemoryBucketStore,
+    live_client_count,
+)
+from repro.local.container import (
+    Handler,
+    InvocationContext,
+    LocalContainer,
+    LocalInvocation,
+)
+from repro.local.multiplexer import (
+    MultiplexerMetrics,
+    ResourceMultiplexer,
+    hash_arguments,
+)
+from repro.local.runtime import LocalPlatform, LocalPlatformConfig
+
+__all__ = [
+    "DEFAULT_STORE",
+    "FakeBlobServiceClient",
+    "FakeS3Client",
+    "Handler",
+    "InMemoryBucketStore",
+    "InvocationContext",
+    "LocalContainer",
+    "LocalInvocation",
+    "LocalPlatform",
+    "LocalPlatformConfig",
+    "MultiplexerMetrics",
+    "ResourceMultiplexer",
+    "hash_arguments",
+    "live_client_count",
+]

@@ -1,0 +1,162 @@
+"""Local (threading) containers: thread-pool execution with a multiplexer.
+
+:class:`LocalContainer` is the real-runtime analogue of
+:class:`repro.model.container.SimContainer`: invocations of one function
+execute as threads inside it (the paper's inline parallelism), optionally
+gated to a fixed concurrency, and share the container's
+:class:`~repro.local.multiplexer.ResourceMultiplexer`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import ContainerStateError
+from repro.local.multiplexer import ResourceMultiplexer
+
+#: A function handler: ``handler(payload, context) -> result``.
+Handler = Callable[[Any, "InvocationContext"], Any]
+
+
+@dataclass
+class LocalInvocation:
+    """One request flowing through the local runtime."""
+
+    invocation_id: str
+    function_name: str
+    payload: Any
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.monotonic)
+    dispatched_at: Optional[float] = None
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def latency_seconds(self) -> float:
+        if self.completed_at is None:
+            raise ContainerStateError(
+                f"{self.invocation_id} has not completed")
+        return self.completed_at - self.submitted_at
+
+    @property
+    def execution_seconds(self) -> float:
+        if self.completed_at is None or self.started_at is None:
+            raise ContainerStateError(
+                f"{self.invocation_id} has not completed")
+        return self.completed_at - self.started_at
+
+
+@dataclass(frozen=True)
+class InvocationContext:
+    """What a handler sees: its container identity and the shared resources.
+
+    Handlers create expensive clients through
+    ``context.create_resource(factory, *args)`` — the interception point of
+    §III-D.  Without a multiplexer (Vanilla mode) the factory is simply
+    called.
+    """
+
+    container_id: str
+    function_name: str
+    multiplexer: Optional[ResourceMultiplexer]
+
+    def create_resource(self, factory: Callable[..., Any], *args: Any,
+                        **kwargs: Any) -> Any:
+        if self.multiplexer is None:
+            return factory(*args, **kwargs)
+        return self.multiplexer.get_or_create(factory, *args, **kwargs)
+
+
+class LocalContainer:
+    """A warm 'container' (thread pool) for one function."""
+
+    def __init__(self, container_id: str, function_name: str,
+                 handler: Handler,
+                 concurrency: Optional[int] = None,
+                 use_multiplexer: bool = True,
+                 cold_start_seconds: float = 0.0) -> None:
+        if concurrency is not None and concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1 or None, got {concurrency}")
+        self.container_id = container_id
+        self.function_name = function_name
+        self.handler = handler
+        self.multiplexer = ResourceMultiplexer() if use_multiplexer else None
+        self._slots = (threading.Semaphore(concurrency)
+                       if concurrency is not None else None)
+        self._active = 0
+        self._lock = threading.Lock()
+        self.invocations_served = 0
+        self.stopped = False
+        if cold_start_seconds > 0:
+            # The provisioning cost (image pull, runtime boot) of a real
+            # cold start, scaled down for tests/examples.
+            time.sleep(cold_start_seconds)
+
+    @property
+    def active_invocations(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def is_idle(self) -> bool:
+        return self.active_invocations == 0 and not self.stopped
+
+    def stop(self) -> None:
+        if self.active_invocations:
+            raise ContainerStateError(
+                f"{self.container_id} is busy ({self.active_invocations})")
+        self.stopped = True
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute_batch(self, invocations: List[LocalInvocation]) -> None:
+        """Run *invocations* inside this container; blocks until all done.
+
+        Mirrors §III-C step 3: one request expands the whole batch as
+        threads and returns when every invocation completed.
+        """
+        if self.stopped:
+            raise ContainerStateError(f"{self.container_id} is stopped")
+        if not invocations:
+            raise ValueError("empty batch")
+        threads = []
+        for invocation in invocations:
+            invocation.dispatched_at = time.monotonic()
+            thread = threading.Thread(
+                target=self._run_one, args=(invocation,),
+                name=f"{self.container_id}:{invocation.invocation_id}",
+                daemon=True)
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _run_one(self, invocation: LocalInvocation) -> None:
+        with self._lock:
+            self._active += 1
+        if self._slots is not None:
+            self._slots.acquire()
+        context = InvocationContext(
+            container_id=self.container_id,
+            function_name=self.function_name,
+            multiplexer=self.multiplexer)
+        invocation.started_at = time.monotonic()
+        try:
+            result = self.handler(invocation.payload, context)
+        except BaseException as error:  # handler failure -> future failure
+            invocation.completed_at = time.monotonic()
+            invocation.future.set_exception(error)
+        else:
+            invocation.completed_at = time.monotonic()
+            invocation.future.set_result(result)
+        finally:
+            if self._slots is not None:
+                self._slots.release()
+            with self._lock:
+                self._active -= 1
+                self.invocations_served += 1

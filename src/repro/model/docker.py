@@ -1,0 +1,129 @@
+"""A docker-py-shaped facade over the simulated container runtime.
+
+The paper's prototype drives containers through docker-py
+(``client.containers.run(..., cpu_count=..., cpuset_cpus=...)``, §III-C).
+:class:`SimDockerClient` mirrors that surface so scheduler code reads like
+the original prototype and so tests can assert on the docker-level view
+(list, get, stop) independent of the scheduling layer.
+
+Only the parts of the docker-py API that the paper's system touches are
+implemented; anything else raises ``AttributeError`` naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.common.errors import ContainerNotFound
+from repro.common.ids import IdFactory
+from repro.model.calibration import Calibration
+from repro.model.container import ContainerState, SimContainer
+from repro.model.function import FunctionSpec
+from repro.sim.kernel import Environment, Process
+from repro.sim.machine import Machine
+
+if TYPE_CHECKING:
+    from repro.core.multiplexer import SimResourceMultiplexer
+
+
+class ContainerHandle:
+    """The docker-py ``Container``-like object returned by ``run``."""
+
+    def __init__(self, container: SimContainer, start_process: Process) -> None:
+        self._container = container
+        #: Process performing the cold start; yield it to await readiness.
+        self.started = start_process
+
+    @property
+    def id(self) -> str:
+        return self._container.container_id
+
+    @property
+    def status(self) -> str:
+        """docker-like status string."""
+        mapping = {
+            ContainerState.CREATED: "created",
+            ContainerState.STARTING: "created",
+            ContainerState.WARM: "running",
+            ContainerState.ACTIVE: "running",
+            ContainerState.STOPPED: "exited",
+        }
+        return mapping[self._container.state]
+
+    @property
+    def sim(self) -> SimContainer:
+        """Escape hatch to the underlying simulated container."""
+        return self._container
+
+    def stop(self) -> None:
+        self._container.stop()
+
+    def __repr__(self) -> str:
+        return f"<ContainerHandle {self.id} {self.status}>"
+
+
+class _ContainerCollection:
+    """Mirror of ``docker.client.containers``."""
+
+    def __init__(self, client: "SimDockerClient") -> None:
+        self._client = client
+
+    def run(self, function: FunctionSpec,
+            concurrency_limit: Optional[int] = None,
+            multiplexer: Optional["SimResourceMultiplexer"] = None,
+            ) -> ContainerHandle:
+        """Create and start a container for *function* (detached).
+
+        The returned handle's ``started`` process completes when the cold
+        start finishes; schedulers yield it before dispatching work.
+        ``function.cpu_limit`` plays the role of docker's ``cpu_count``.
+        """
+        client = self._client
+        container = SimContainer(
+            env=client.env,
+            machine=client.machine,
+            container_id=client.ids.next("container"),
+            function=function,
+            calibration=client.calibration,
+            concurrency_limit=concurrency_limit,
+            multiplexer=multiplexer)
+        start = client.env.process(container.start(),
+                                   name=f"start:{container.container_id}")
+        client._register(container)
+        return ContainerHandle(container, start)
+
+    def get(self, container_id: str) -> ContainerHandle:
+        container = self._client._containers.get(container_id)
+        if container is None:
+            raise ContainerNotFound(container_id)
+        return ContainerHandle(container, start_process=None)  # type: ignore[arg-type]
+
+    def list(self, all: bool = False) -> List[SimContainer]:  # noqa: A002 - docker API
+        containers = self._client._containers.values()
+        if all:
+            return list(containers)
+        return [c for c in containers if c.is_warm]
+
+
+class SimDockerClient:
+    """Simulated docker daemon for one worker machine."""
+
+    def __init__(self, env: Environment, machine: Machine,
+                 calibration: Calibration,
+                 ids: Optional[IdFactory] = None) -> None:
+        self.env = env
+        self.machine = machine
+        self.calibration = calibration
+        self.ids = ids if ids is not None else IdFactory()
+        self._containers: Dict[str, SimContainer] = {}
+        self.containers = _ContainerCollection(self)
+
+    def _register(self, container: SimContainer) -> None:
+        self._containers[container.container_id] = container
+
+    def started_count(self) -> int:
+        """How many containers were ever created on this daemon."""
+        return len(self._containers)
+
+    def running_count(self) -> int:
+        return sum(1 for c in self._containers.values() if c.is_warm)

@@ -1,0 +1,172 @@
+"""Function and invocation model, with the paper's latency breakdown.
+
+The paper decomposes *invocation latency* into four parts (§IV, "Evaluation
+Metrics"): scheduling latency, cold-start latency, queuing latency and
+execution latency.  :class:`Invocation` carries exactly those marks; the
+platform and containers stamp them as the invocation flows through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import SchedulingError
+from repro.model.workprofile import WorkProfile
+
+
+class FunctionKind(enum.Enum):
+    """Workload class of a function (the paper evaluates both)."""
+
+    CPU = "cpu"
+    IO = "io"
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A registered serverless function.
+
+    ``profile_factory`` builds the work profile of one invocation; it takes
+    the invocation's payload (an opaque object from the workload generator,
+    e.g. the fib ``N``) and returns a :class:`WorkProfile`.
+    """
+
+    function_id: str
+    kind: FunctionKind
+    profile_factory: Callable[[object], WorkProfile]
+    #: CPU cores the customer's resource limit grants a container of this
+    #: function (docker ``cpu_count`` / ``cpuset_cpus`` in §III-C).
+    cpu_limit: Optional[float] = None
+    #: Extra per-container memory for this function's code and deps.
+    code_memory_mb: float = 0.0
+
+    def build_profile(self, payload: object) -> WorkProfile:
+        """Materialise the work profile for one invocation."""
+        return self.profile_factory(payload)
+
+
+class InvocationState(enum.Enum):
+    """Lifecycle of one invocation."""
+
+    RECEIVED = "received"
+    DISPATCHED = "dispatched"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class LatencyBreakdown:
+    """The four latency components of §IV, all in milliseconds.
+
+    ``scheduling_ms`` excludes the cold start, matching the paper: "we
+    subtract the cold-start latency from the scheduling latency in our
+    evaluation".
+    """
+
+    scheduling_ms: float = 0.0
+    cold_start_ms: float = 0.0
+    queuing_ms: float = 0.0
+    execution_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return (self.scheduling_ms + self.cold_start_ms
+                + self.queuing_ms + self.execution_ms)
+
+    @property
+    def execution_plus_queuing_ms(self) -> float:
+        """The paper's "Exec+Queue" series (Kraken's penalty, Figs 11c/12c)."""
+        return self.execution_ms + self.queuing_ms
+
+
+@dataclass
+class Invocation:
+    """One function invocation flowing through the platform."""
+
+    invocation_id: str
+    function: FunctionSpec
+    payload: object
+    arrival_ms: float
+    state: InvocationState = InvocationState.RECEIVED
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    container_id: Optional[str] = None
+    #: Simulated timestamps stamped as the invocation progresses.
+    dispatched_ms: Optional[float] = None
+    execution_start_ms: Optional[float] = None
+    completed_ms: Optional[float] = None
+    #: When the response was returned to the caller.  Under the paper's
+    #: batch semantics (§III-C: "the HTTP request is returned to FaaSBatch
+    #: only after all invocations of the function group have completed")
+    #: this is the *group's* completion time; with the early-return
+    #: extension (the paper's future work) it equals ``completed_ms``.
+    responded_ms: Optional[float] = None
+    error: Optional[BaseException] = None
+
+    # -- stamping helpers (called by the platform/container) ---------------------
+
+    def mark_dispatched(self, now_ms: float, cold_start_ms: float) -> None:
+        """Invocation handed to its container; split scheduling/cold-start."""
+        if self.dispatched_ms is not None:
+            raise SchedulingError(
+                f"{self.invocation_id} dispatched twice")
+        raw_scheduling = now_ms - self.arrival_ms
+        if raw_scheduling + 1e-9 < cold_start_ms:
+            raise SchedulingError(
+                f"{self.invocation_id}: cold start ({cold_start_ms} ms) "
+                f"exceeds elapsed scheduling time ({raw_scheduling} ms)")
+        self.dispatched_ms = now_ms
+        self.latency.scheduling_ms = raw_scheduling - cold_start_ms
+        self.latency.cold_start_ms = cold_start_ms
+        self.state = InvocationState.DISPATCHED
+
+    def mark_execution_start(self, now_ms: float) -> None:
+        """Invocation starts executing; the gap since dispatch was queuing."""
+        if self.dispatched_ms is None:
+            raise SchedulingError(
+                f"{self.invocation_id} started before dispatch")
+        self.execution_start_ms = now_ms
+        self.latency.queuing_ms = now_ms - self.dispatched_ms
+        self.state = InvocationState.RUNNING
+
+    def mark_completed(self, now_ms: float) -> None:
+        if self.execution_start_ms is None:
+            raise SchedulingError(
+                f"{self.invocation_id} completed before starting")
+        self.completed_ms = now_ms
+        self.latency.execution_ms = now_ms - self.execution_start_ms
+        self.state = InvocationState.COMPLETED
+
+    def mark_failed(self, now_ms: float, error: BaseException) -> None:
+        self.completed_ms = now_ms
+        self.error = error
+        self.state = InvocationState.FAILED
+
+    def mark_responded(self, now_ms: float) -> None:
+        """The caller received its response (group return or early return)."""
+        if self.completed_ms is None:
+            raise SchedulingError(
+                f"{self.invocation_id} responded before completing")
+        if self.responded_ms is not None:
+            raise SchedulingError(
+                f"{self.invocation_id} responded twice")
+        if now_ms + 1e-9 < self.completed_ms:
+            raise SchedulingError(
+                f"{self.invocation_id} responded before its completion")
+        self.responded_ms = now_ms
+
+    @property
+    def response_latency_ms(self) -> float:
+        """Arrival-to-response latency (what the *caller* experiences)."""
+        if self.responded_ms is None:
+            raise SchedulingError(f"{self.invocation_id} has no response")
+        return self.responded_ms - self.arrival_ms
+
+    @property
+    def end_to_end_ms(self) -> float:
+        """Arrival-to-completion latency (the paper's invocation latency)."""
+        if self.completed_ms is None:
+            raise SchedulingError(f"{self.invocation_id} not completed")
+        return self.completed_ms - self.arrival_ms

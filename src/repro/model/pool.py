@@ -1,0 +1,114 @@
+"""Warm container pool with keep-alive reclamation.
+
+Serverless platforms keep finished containers alive for a while so that
+subsequent invocations of the same function warm-start (§I).  The pool:
+
+* hands out an idle warm container for a function when one exists
+  (*warm start*), else the caller cold-starts a new one;
+* receives containers back after execution and schedules their expiry
+  ``keep_alive_ms`` later — cancelled if the container is re-acquired first;
+* tracks the *provisioned containers* count (every container ever started),
+  the metric of Figs. 13(b)/14(b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, DefaultDict, Dict, List, Optional
+
+from repro.common.errors import ContainerStateError
+from repro.model.container import SimContainer
+from repro.sim.kernel import Environment
+
+
+class ContainerPool:
+    """Keep-alive pool of warm containers, keyed by function id."""
+
+    def __init__(self, env: Environment, keep_alive_ms: float) -> None:
+        if keep_alive_ms <= 0:
+            raise ValueError(f"keep_alive_ms must be > 0, got {keep_alive_ms}")
+        self.env = env
+        self.keep_alive_ms = keep_alive_ms
+        self._idle: DefaultDict[str, List[SimContainer]] = defaultdict(list)
+        #: Expiry epoch per container id; bumping it cancels pending expiry.
+        self._lease_version: Dict[str, int] = {}
+        self.provisioned_total = 0
+        self.warm_hits = 0
+        self.cold_misses = 0
+        self.expired_total = 0
+        self._on_expire: Optional[Callable[[SimContainer], None]] = None
+
+    # -- acquisition ------------------------------------------------------------
+
+    def acquire(self, function_id: str) -> Optional[SimContainer]:
+        """Take an idle warm container for *function_id*, or None (cold)."""
+        idle = self._idle.get(function_id)
+        while idle:
+            container = idle.pop()
+            # Containers in the idle list are warm by construction; guard
+            # against out-of-band stops anyway.
+            if container.is_idle:
+                self._bump(container)
+                self.warm_hits += 1
+                return container
+        self.cold_misses += 1
+        return None
+
+    def register_started(self, container: SimContainer) -> None:
+        """Count a freshly cold-started container as provisioned."""
+        self.provisioned_total += 1
+        self._bump(container)
+
+    def release(self, container: SimContainer) -> None:
+        """Return *container* to the pool and arm its keep-alive expiry."""
+        if not container.is_idle:
+            raise ContainerStateError(
+                f"{container.container_id} returned to pool while not idle")
+        self._idle[container.function.function_id].append(container)
+        version = self._bump(container)
+        self.env.process(self._expire_later(container, version),
+                         name=f"expire:{container.container_id}")
+
+    def set_expiry_callback(self,
+                            callback: Callable[[SimContainer], None]) -> None:
+        """Invoke *callback* whenever a container is reclaimed."""
+        self._on_expire = callback
+
+    # -- introspection ----------------------------------------------------------
+
+    def idle_count(self, function_id: Optional[str] = None) -> int:
+        if function_id is not None:
+            return len(self._idle.get(function_id, []))
+        return sum(len(v) for v in self._idle.values())
+
+    def idle_containers(self) -> List[SimContainer]:
+        return [c for lst in self._idle.values() for c in lst]
+
+    def drain(self) -> List[SimContainer]:
+        """Stop and remove every idle container (end-of-run cleanup)."""
+        drained: List[SimContainer] = []
+        for function_id in list(self._idle):
+            for container in self._idle.pop(function_id):
+                self._bump(container)
+                container.stop()
+                drained.append(container)
+        return drained
+
+    # -- internals ----------------------------------------------------------------
+
+    def _bump(self, container: SimContainer) -> int:
+        version = self._lease_version.get(container.container_id, 0) + 1
+        self._lease_version[container.container_id] = version
+        return version
+
+    def _expire_later(self, container: SimContainer, version: int):
+        yield self.env.timeout(self.keep_alive_ms)
+        if self._lease_version.get(container.container_id) != version:
+            return  # re-acquired (or drained) in the meantime
+        idle = self._idle.get(container.function.function_id, [])
+        if container in idle:
+            idle.remove(container)
+            container.stop()
+            self.expired_total += 1
+            if self._on_expire is not None:
+                self._on_expire(container)

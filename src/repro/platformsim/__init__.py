@@ -1,0 +1,20 @@
+"""Platform harness: gateway, platform, windows, experiment runner, results."""
+
+from repro.common.eventlog import EventKind, EventLog, LogRecord
+from repro.platformsim.experiment import run_comparison, run_experiment
+from repro.platformsim.gateway import start_replay
+from repro.platformsim.platform import ServerlessPlatform
+from repro.platformsim.results import ExperimentResult
+from repro.platformsim.windows import collect_window
+
+__all__ = [
+    "EventKind",
+    "EventLog",
+    "ExperimentResult",
+    "LogRecord",
+    "ServerlessPlatform",
+    "collect_window",
+    "run_comparison",
+    "run_experiment",
+    "start_replay",
+]

@@ -1,0 +1,26 @@
+"""The request gateway: replays a trace into the platform.
+
+The paper's client VM fires invocations at the worker according to the
+trace's timestamps; the client side is not a bottleneck (§IV separates a
+small client VM from the large worker VM), so replay itself is free — cost
+starts accruing when the platform handles the request.
+"""
+
+from __future__ import annotations
+
+from repro.platformsim.platform import ServerlessPlatform
+from repro.sim.kernel import Process
+from repro.workload.trace import Trace
+
+
+def start_replay(platform: ServerlessPlatform, trace: Trace) -> Process:
+    """Spawn the replay process; requests hit the platform on schedule."""
+
+    def replay():
+        for record in trace:
+            delay = record.arrival_ms - platform.env.now
+            if delay > 0:
+                yield platform.env.timeout(delay)
+            platform.submit(record)
+
+    return platform.env.process(replay(), name="gateway-replay")

@@ -1,0 +1,239 @@
+"""The serverless platform: request queue, container services, accounting.
+
+:class:`ServerlessPlatform` is the substrate every scheduling policy runs
+on.  It owns the worker machine, the docker facade, the warm-container pool
+and the request queue, and exposes the primitives schedulers compose:
+
+* ``submit`` — a request arrives (called by the gateway);
+* ``dispatch_work`` / ``launch_work`` — the host CPU cost of scheduling
+  decisions (these contend with function execution, which is what makes
+  Vanilla's scheduling latency collapse under bursts, Figs. 11a/12a);
+* ``acquire_container`` — warm-pool hit or cold start;
+* ``release_container`` — return a container to the keep-alive pool;
+* ``note_completed`` — completion bookkeeping and the all-done event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    FunctionNotRegistered,
+    SchedulingError,
+)
+from repro.common.ids import IdFactory
+from repro.core.multiplexer import SimResourceMultiplexer
+from repro.common.eventlog import EventKind, EventLog
+from repro.model.calibration import Calibration
+from repro.model.container import SimContainer
+from repro.model.docker import SimDockerClient
+from repro.model.function import FunctionSpec, Invocation
+from repro.model.pool import ContainerPool
+from repro.sim.kernel import Environment, Event
+from repro.sim.machine import Machine
+from repro.sim.primitives import Resource, Store
+from repro.workload.trace import TraceRecord
+
+
+class ServerlessPlatform:
+    """One worker-machine serverless platform instance."""
+
+    #: CPU-group name of the platform process (the paper's prototype is a
+    #: Python service: its scheduling work is GIL-serialised and its cgroup
+    #: competes with the containers for host cores).
+    PLATFORM_GROUP = "platform"
+
+    def __init__(self, env: Environment, machine: Machine,
+                 calibration: Calibration,
+                 ids: Optional[IdFactory] = None,
+                 event_log: Optional[EventLog] = None) -> None:
+        self.env = env
+        #: Structured decision log (disabled by default; ``.enable()`` it).
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.machine = machine
+        self.calibration = calibration
+        self.ids = ids if ids is not None else IdFactory()
+        self.docker = SimDockerClient(env, machine, calibration, ids=self.ids)
+        self.pool = ContainerPool(env, keep_alive_ms=calibration.keep_alive_ms)
+        self.request_queue: Store[Invocation] = Store(env)
+        self.functions: Dict[str, FunctionSpec] = {}
+        self.completed: List[Invocation] = []
+        self.expected_invocations: Optional[int] = None
+        self._all_done: Event = env.event()
+        #: Callbacks invoked on every completion (cluster coordination).
+        self.completion_listeners: List = []
+        # The platform process: one GIL (decisions serialise) and a CPU
+        # group capped at a single core's worth of execution.
+        self.machine.cpu.create_group(self.PLATFORM_GROUP, cap=1.0)
+        self._gil = Resource(env, capacity=1)
+        self.pool.set_expiry_callback(
+            lambda container: self.event_log.record(
+                self.env.now, EventKind.CONTAINER_EXPIRED,
+                container_id=container.container_id))
+
+    # -- registration / arrival ----------------------------------------------------
+
+    def register_function(self, spec: FunctionSpec) -> None:
+        if spec.function_id in self.functions:
+            raise SchedulingError(
+                f"function {spec.function_id!r} registered twice")
+        self.functions[spec.function_id] = spec
+
+    def expect_invocations(self, count: int) -> Event:
+        """Declare the run size; returns the event fired at full completion."""
+        if count <= 0:
+            raise SchedulingError(f"expected count must be > 0, got {count}")
+        self.expected_invocations = count
+        return self._all_done
+
+    def submit(self, record: TraceRecord) -> Invocation:
+        """A request arrives at the platform (stamped with the current time)."""
+        spec = self.functions.get(record.function_id)
+        if spec is None:
+            raise FunctionNotRegistered(record.function_id)
+        invocation = Invocation(
+            invocation_id=self.ids.next("inv"),
+            function=spec,
+            payload=record.payload,
+            arrival_ms=self.env.now)
+        self.request_queue.put(invocation)
+        self.event_log.record(self.env.now, EventKind.REQUEST_ARRIVED,
+                              invocation_id=invocation.invocation_id,
+                              function_id=record.function_id)
+        return invocation
+
+    # -- scheduler primitives ---------------------------------------------------------
+
+    def dispatch_work(self, invocation_count: int = 1) -> Event:
+        """Platform CPU work of dispatching *invocation_count* requests.
+
+        Runs inside the platform process: serialised by its GIL and capped
+        at one core, contended with the containers' groups.  Under a burst
+        of per-invocation decisions this is the queueing bottleneck behind
+        Vanilla's and SFS's multi-second scheduling tails (Figs. 11a/12a);
+        FaaSBatch makes one decision per *group* and stays sub-second.
+        """
+        work = (self.calibration.scheduling_cpu_work_per_decision_ms
+                + self.calibration.scheduling_cpu_work_per_invocation_ms
+                * invocation_count)
+        self.event_log.record(self.env.now, EventKind.DISPATCH_DECISION,
+                              invocation_count=invocation_count)
+        return self._platform_work(work, label="dispatch")
+
+    def launch_work(self) -> Event:
+        """Platform CPU work of one container-launch decision (docker API)."""
+        self.event_log.record(self.env.now, EventKind.LAUNCH_DECISION)
+        return self._platform_work(
+            self.calibration.scheduling_cpu_work_per_launch_ms,
+            label="launch")
+
+    def _platform_work(self, work: float, label: str) -> Event:
+        """Run *work* core-ms in the GIL-serialised platform process."""
+
+        def run():
+            token = self._gil.request()
+            yield token
+            try:
+                yield self.machine.cpu.submit(
+                    work, group=self.PLATFORM_GROUP, label=label)
+            finally:
+                token.release()
+
+        return self.env.process(run(), name=f"platform-{label}")
+
+    def try_acquire_warm(self, function: FunctionSpec) -> Optional[SimContainer]:
+        """Non-blocking warm-pool check-and-take (the prototype's fast path).
+
+        Real handler threads check the pool the moment a request arrives —
+        concurrently.  Under a burst they all observe an empty pool and all
+        decide to cold-start, which is exactly how Vanilla ends up
+        provisioning hundreds of containers (§V-B2).
+        """
+        container = self.pool.acquire(function.function_id)
+        if container is not None:
+            self.event_log.record(self.env.now, EventKind.WARM_HIT,
+                                  container_id=container.container_id,
+                                  function_id=function.function_id)
+        return container
+
+    def cold_start(self, function: FunctionSpec,
+                   concurrency_limit: Optional[int],
+                   with_multiplexer: bool):
+        """Generator: provision a fresh container; returns (container, cold_ms)."""
+        multiplexer = (SimResourceMultiplexer(self.env)
+                       if with_multiplexer else None)
+        handle = self.docker.containers.run(
+            function, concurrency_limit=concurrency_limit,
+            multiplexer=multiplexer)
+        self.event_log.record(self.env.now, EventKind.COLD_START_BEGAN,
+                              container_id=handle.id,
+                              function_id=function.function_id)
+        cold_start_ms = yield handle.started
+        self.pool.register_started(handle.sim)
+        self.event_log.record(self.env.now, EventKind.COLD_START_ENDED,
+                              container_id=handle.id,
+                              cold_start_ms=float(cold_start_ms))
+        return handle.sim, float(cold_start_ms)
+
+    def acquire_container(self, function: FunctionSpec,
+                          concurrency_limit: Optional[int],
+                          with_multiplexer: bool):
+        """Generator: warm hit or cold start, whichever is available *now*.
+
+        Returns ``(container, cold_start_ms)`` — zero for warm hits.  The
+        caller decides where in its control flow to pay
+        :meth:`launch_work`.
+        """
+        warm = self.try_acquire_warm(function)
+        if warm is not None:
+            return warm, 0.0
+        container, cold_start_ms = yield from self.cold_start(
+            function, concurrency_limit, with_multiplexer)
+        return container, cold_start_ms
+
+    def release_container(self, container: SimContainer) -> None:
+        self.pool.release(container)
+        self.event_log.record(self.env.now, EventKind.CONTAINER_RELEASED,
+                              container_id=container.container_id)
+
+    # -- completion -----------------------------------------------------------------
+
+    def note_completed(self, invocation: Invocation) -> None:
+        self.completed.append(invocation)
+        kind = (EventKind.INVOCATION_FAILED if invocation.error is not None
+                else EventKind.INVOCATION_COMPLETED)
+        self.event_log.record(self.env.now, kind,
+                              invocation_id=invocation.invocation_id,
+                              container_id=invocation.container_id)
+        for listener in self.completion_listeners:
+            listener(invocation)
+        if (self.expected_invocations is not None
+                and len(self.completed) == self.expected_invocations):
+            self._all_done.succeed(len(self.completed))
+
+    # -- metrics helpers ----------------------------------------------------------------
+
+    def provisioned_containers(self) -> int:
+        """Containers cold-started during the run (Figs. 13b/14b)."""
+        return self.pool.provisioned_total
+
+    def clients_created(self) -> int:
+        """Storage client instances built across all containers."""
+        return sum(c.clients_created
+                   for c in self.docker.containers.list(all=True))
+
+    def total_client_memory_mb(self) -> float:
+        """Memory spent on client instances (live accounting)."""
+        return (self.clients_created()
+                * self.calibration.client_memory_mb)
+
+    def multiplexer_stats(self) -> List[Tuple[str, int, int]]:
+        """Per-container (id, hits+waits, misses) for multiplexed containers."""
+        out = []
+        for container in self.docker.containers.list(all=True):
+            if container.multiplexer is not None:
+                stats = container.multiplexer.stats
+                out.append((container.container_id,
+                            stats.hits + stats.in_flight_waits,
+                            stats.misses))
+        return out

@@ -1,0 +1,202 @@
+"""Experiment results: per-invocation latency series and resource costs.
+
+:class:`ExperimentResult` is the unit every benchmark consumes.  It exposes
+exactly the paper's metrics:
+
+* the four latency components as empirical CDFs (Figs. 11/12);
+* total memory usage, provisioned containers and CPU cost (Figs. 13/14);
+* the per-invocation storage-client memory footprint (Fig. 14d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.cdf import EmpiricalCdf
+from repro.common.stats import SampleStats
+from repro.model.calibration import Calibration
+from repro.model.function import Invocation, InvocationState
+from repro.sim.machine import ResourceSample
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one scheduler-vs-workload run."""
+
+    scheduler_name: str
+    workload_label: str
+    window_ms: Optional[float]
+    calibration: Calibration
+    invocations: List[Invocation]
+    provisioned_containers: int
+    clients_created: int
+    multiplexer_entries: int
+    samples: List[ResourceSample]
+    completion_ms: float
+
+    # -- success / failure -----------------------------------------------------
+
+    def successful_invocations(self) -> List[Invocation]:
+        """Invocations that completed normally (latency series use these)."""
+        return [inv for inv in self.invocations
+                if inv.state is InvocationState.COMPLETED]
+
+    def failed_invocations(self) -> List[Invocation]:
+        """Invocations whose handler raised (isolated per-invocation)."""
+        return [inv for inv in self.invocations
+                if inv.state is InvocationState.FAILED]
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failed_invocations())
+
+    # -- latency series (Figs. 11 / 12) ---------------------------------------
+
+    def scheduling_cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            inv.latency.scheduling_ms
+            for inv in self.successful_invocations())
+
+    def cold_start_cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            inv.latency.cold_start_ms
+            for inv in self.successful_invocations())
+
+    def execution_cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            inv.latency.execution_ms
+            for inv in self.successful_invocations())
+
+    def execution_plus_queuing_cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            inv.latency.execution_plus_queuing_ms
+            for inv in self.successful_invocations())
+
+    def end_to_end_cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(inv.end_to_end_ms
+                            for inv in self.successful_invocations())
+
+    def response_latency_cdf(self) -> EmpiricalCdf:
+        """Arrival-to-response latency — what callers experience.
+
+        Differs from :meth:`end_to_end_cdf` under batch semantics: the
+        response waits for the whole group unless the early-return
+        extension is on.
+        """
+        return EmpiricalCdf(inv.response_latency_ms
+                            for inv in self.successful_invocations())
+
+    def latency_stats(self) -> SampleStats:
+        return SampleStats(inv.end_to_end_ms
+                           for inv in self.successful_invocations())
+
+    def total_queuing_ms(self) -> float:
+        return sum(inv.latency.queuing_ms
+                   for inv in self.successful_invocations())
+
+    # -- resource costs (Figs. 13 / 14) ------------------------------------------
+
+    def _active_samples(self) -> Sequence[ResourceSample]:
+        """Samples within the active run window [0, completion]."""
+        active = [s for s in self.samples if s.time_ms <= self.completion_ms]
+        if not active:
+            raise ValueError("no resource samples within the run window")
+        return active
+
+    def average_memory_mb(self) -> float:
+        """Mean sampled system memory (Figs. 13a/14a)."""
+        active = self._active_samples()
+        return sum(s.memory_mb for s in active) / len(active)
+
+    def peak_memory_mb(self) -> float:
+        return max(s.memory_mb for s in self._active_samples())
+
+    def average_cpu_utilization(self) -> float:
+        """Mean sampled CPU utilisation in [0, 1] (Figs. 13c/14c)."""
+        active = self._active_samples()
+        return sum(s.cpu_utilization for s in active) / len(active)
+
+    def total_cpu_core_seconds(self) -> float:
+        """Total computation performed during the run, in core-seconds."""
+        return self._active_samples()[-1].cpu_busy_core_ms / 1000.0
+
+    def client_memory_footprint_mb(self) -> float:
+        """Average client-creation memory charged per invocation (Fig. 14d)."""
+        if not self.invocations:
+            raise ValueError("no invocations")
+        total_mb = (self.clients_created * self.calibration.client_memory_mb
+                    + self.multiplexer_entries
+                    * self.calibration.multiplexer_entry_mb)
+        return total_mb / len(self.invocations)
+
+    def invocations_per_container(self) -> float:
+        """How many invocations one provisioned container served on average."""
+        if self.provisioned_containers == 0:
+            raise ValueError("no containers provisioned")
+        return len(self.invocations) / self.provisioned_containers
+
+    # -- export ----------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable archive of the run (per-invocation rows).
+
+        Round-trips through :meth:`summary_from_dict` for comparisons
+        against pinned artefacts; the full Invocation objects are not
+        reconstructed (they reference live FunctionSpecs).
+        """
+        return {
+            "scheduler": self.scheduler_name,
+            "workload": self.workload_label,
+            "window_ms": self.window_ms,
+            "provisioned_containers": self.provisioned_containers,
+            "clients_created": self.clients_created,
+            "multiplexer_entries": self.multiplexer_entries,
+            "completion_ms": self.completion_ms,
+            "failures": self.failure_count,
+            "invocations": [
+                {
+                    "id": inv.invocation_id,
+                    "function": inv.function.function_id,
+                    "arrival_ms": inv.arrival_ms,
+                    "scheduling_ms": inv.latency.scheduling_ms,
+                    "cold_start_ms": inv.latency.cold_start_ms,
+                    "queuing_ms": inv.latency.queuing_ms,
+                    "execution_ms": inv.latency.execution_ms,
+                    "state": inv.state.value,
+                }
+                for inv in self.invocations
+            ],
+            "samples": [
+                {"time_ms": s.time_ms, "memory_mb": s.memory_mb,
+                 "cpu_utilization": s.cpu_utilization}
+                for s in self.samples
+            ],
+        }
+
+    def to_json(self, path) -> None:
+        """Write :meth:`to_dict` to *path* as JSON."""
+        import json
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+
+    # -- summary row -----------------------------------------------------------------
+
+    def summary_row(self) -> List[object]:
+        """The standard report row used by the benchmark tables."""
+        stats = self.latency_stats()
+        return [
+            self.scheduler_name,
+            len(self.invocations),
+            self.provisioned_containers,
+            round(self.average_memory_mb(), 1),
+            round(self.average_cpu_utilization() * 100.0, 2),
+            round(stats.median, 1),
+            round(stats.percentile(98.0), 1),
+            round(self.completion_ms / 1000.0, 2),
+        ]
+
+    SUMMARY_HEADERS = [
+        "scheduler", "invocations", "containers", "avg_mem_MB",
+        "avg_cpu_%", "p50_latency_ms", "p98_latency_ms", "makespan_s",
+    ]

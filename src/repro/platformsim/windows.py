@@ -1,0 +1,47 @@
+"""Dispatch-window collection shared by windowed schedulers.
+
+Both FaaSBatch's Invoke Mapper and the ported Kraken gather "all invocation
+requests within this time interval" (§III-B) from the platform's request
+queue and treat them as concurrent.  :func:`collect_window` implements that
+once, with careful handling of the race between the window timer and a
+request arriving at the very same simulated instant.
+"""
+
+from __future__ import annotations
+
+from typing import List, TypeVar
+
+from repro.sim.kernel import Environment
+from repro.sim.primitives import Store
+
+T = TypeVar("T")
+
+
+def collect_window(env: Environment, queue: Store[T], window_ms: float):
+    """Generator: wait for the first item, then drain the window.
+
+    Blocks until one item arrives, then keeps collecting items until
+    ``window_ms`` has elapsed *since the first arrival*.  Returns the list
+    of items (at least one).  Use as ``batch = yield from collect_window(...)``.
+    """
+    if window_ms < 0:
+        raise ValueError(f"negative window: {window_ms}")
+    first: T = yield queue.get()
+    batch: List[T] = [first]
+    window_end = env.now + window_ms
+    while env.now < window_end:
+        get_event = queue.get()
+        timer = env.timeout(window_end - env.now)
+        winner, value = yield (get_event | timer)
+        if winner is get_event:
+            batch.append(value)
+            continue
+        # The timer won.  The pending getter must be withdrawn so it does
+        # not silently swallow a future request — unless an item raced in
+        # at this exact instant, in which case we must keep it.
+        if get_event.triggered:
+            batch.append(get_event.value)
+        else:
+            queue.cancel_get(get_event)
+        break
+    return batch

@@ -1,0 +1,416 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, SimPy-style kernel: simulated *processes* are
+Python generators that ``yield`` :class:`Event` objects and are resumed when
+those events trigger.  The kernel is deliberately minimal but complete enough
+to model a serverless platform: timeouts, one-shot events, process joining,
+interrupts, and composite all-of/any-of events.
+
+Determinism
+-----------
+Events scheduled for the same simulated time fire in FIFO order of
+scheduling (a monotone sequence number breaks ties), so a run is a pure
+function of its inputs.  All times are in milliseconds
+(:mod:`repro.common.units`).
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5.0)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.common.errors import (
+    EventAlreadyTriggered,
+    ProcessInterrupted,
+    SimulationError,
+)
+
+#: Type of the generator a :class:`Process` drives.
+ProcessGenerator = Generator["Event", Any, Any]
+
+#: Scheduling priorities; URGENT fires before NORMAL at equal times.  Used by
+#: the kernel to ensure interrupts pre-empt normal resumptions.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Life-cycle: *pending* → *triggered* (value or exception attached and the
+    event is queued) → *processed* (callbacks ran).  Triggering twice raises
+    :class:`EventAlreadyTriggered`.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None  # None = pending
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been attached."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception attached to the event."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._ok is not None:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will see the exception thrown into them.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._ok is not None:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+        return self
+
+    # -- composition -------------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers *delay* milliseconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay=delay, priority=PRIORITY_NORMAL)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover - guard
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover - guard
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Initialize(Event):
+    """Internal event used to start a process at creation time."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._enqueue(self, delay=0.0, priority=PRIORITY_URGENT)
+
+
+class Interruption(Event):
+    """Internal event that throws ProcessInterrupted into a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        self.process = process
+        self.callbacks.append(self._interrupt)
+        self._ok = False
+        self._value = ProcessInterrupted(cause)
+        self.env._enqueue(self, delay=0.0, priority=PRIORITY_URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process.triggered:
+            return  # terminated before the interrupt was delivered
+        target = self.process._waiting_on
+        if target is not None and not target.processed:
+            # Detach so the original event no longer resumes the process.
+            assert target.callbacks is not None
+            if self.process._resume in target.callbacks:
+                target.callbacks.remove(self.process._resume)
+        self.process._waiting_on = None
+        self.process._resume(self)
+
+
+class Process(Event):
+    """Drives a generator; itself an event that triggers when it returns.
+
+    The generator's ``return`` value becomes the process's ``value``.  If the
+    generator raises, the process fails with that exception (which propagates
+    to joiners, or out of :meth:`Environment.run` if nobody joined).
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process."""
+        Interruption(self, cause)
+
+    # -- generator driving ------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        event: Optional[Event] = trigger
+        while True:
+            assert event is not None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    exc = event._value
+                    # Mark delivered so an unhandled failure is reported once.
+                    event._defused = True  # type: ignore[attr-defined]
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+                return
+            except BaseException as exc:  # generator crashed
+                self._ok = False
+                self._value = exc
+                self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+                return
+
+            if not isinstance(next_event, Event):
+                crash = SimulationError(
+                    f"process {self.name!r} yielded {next_event!r}, "
+                    "which is not an Event")
+                self._ok = False
+                self._value = crash
+                self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+                return
+
+            if next_event.processed:
+                # Already fired: loop immediately with its value.
+                event = next_event
+                continue
+            assert next_event.callbacks is not None
+            next_event.callbacks.append(self._resume)
+            self._waiting_on = next_event
+            return
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} {'alive' if self.is_alive else 'done'}>"
+
+
+class AllOf(Event):
+    """Triggers when every child event has succeeded (fails fast on failure).
+
+    The value is a list of child values in the order the children were given.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children: List[Event] = list(events)
+        self._pending = 0
+        for child in self._children:
+            if child.processed:
+                if not child._ok:
+                    self._fail_once(child._value)
+                continue
+            self._pending += 1
+            assert child.callbacks is not None
+            child.callbacks.append(self._on_child)
+        if self._ok is None and self._pending == 0:
+            self.succeed([c._value for c in self._children])
+
+    def _fail_once(self, exc: BaseException) -> None:
+        if self._ok is None:
+            self.fail(exc)
+
+    def _on_child(self, child: Event) -> None:
+        if self._ok is not None:
+            return
+        if not child._ok:
+            child._defused = True  # type: ignore[attr-defined]
+            self._fail_once(child._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first child triggers (success or failure).
+
+    The value is ``(child, child_value)`` of the winner.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        done = next((c for c in self._children if c.processed), None)
+        if done is not None:
+            self._settle(done)
+            return
+        for child in self._children:
+            assert child.callbacks is not None
+            child.callbacks.append(self._on_child)
+
+    def _settle(self, child: Event) -> None:
+        if child._ok:
+            self.succeed((child, child._value))
+        else:
+            child._defused = True  # type: ignore[attr-defined]
+            self.fail(child._value)
+
+    def _on_child(self, child: Event) -> None:
+        if self._ok is not None:
+            return
+        self._settle(child)
+
+
+class Environment:
+    """Holds simulated time and the event queue, and executes events."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending one-shot event (trigger with succeed/fail)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after *delay* ms."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a process driving *generator* at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing time to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-9:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False) \
+                and not callbacks:
+            # A failure nobody waited on must not pass silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches *until*."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, process: Process,
+                    until: Optional[float] = None) -> Any:
+        """Run until *process* completes; return its value or raise."""
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: {process!r} cannot complete, queue empty")
+            if until is not None and self.peek() > until:
+                raise SimulationError(
+                    f"{process!r} did not finish by t={until}")
+            self.step()
+        # Drain the zero-delay completion event so joiners observe it too.
+        while self._queue and self.peek() <= self._now:
+            self.step()
+        if process.ok:
+            return process.value
+        raise process.value

@@ -1,0 +1,181 @@
+"""Waitable primitives built on the kernel: Resource, Store, Gate.
+
+These are the coordination primitives the platform model is written against:
+
+* :class:`Resource` — a counted resource (e.g. "at most N concurrent cold
+  starts"); FIFO grant order.
+* :class:`Store` — an unbounded FIFO queue of items with blocking ``get``;
+  this is the request queue the gateway listens on.
+* :class:`Gate` — a reusable open/close barrier (used for keep-alive
+  expiry and shutdown signalling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generic, List, Optional, TypeVar
+
+from repro.common.errors import SimulationError
+from repro.sim.kernel import Environment, Event
+
+T = TypeVar("T")
+
+
+class Request(Event):
+    """Pending acquisition of one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._on_request(self)
+
+    def release(self) -> None:
+        """Give the unit back (idempotent-unsafe: call exactly once)."""
+        self.resource._on_release(self)
+
+
+class Resource:
+    """A counted resource with FIFO grant order.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request          # waits until a unit is free
+        ...                    # critical section
+        request.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._granted: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return len(self._granted)
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Create a pending acquisition (an event to yield on)."""
+        return Request(self)
+
+    # -- internal protocol -----------------------------------------------------
+
+    def _on_request(self, request: Request) -> None:
+        if len(self._granted) < self.capacity:
+            self._granted.append(request)
+            request.succeed(self)
+        else:
+            self._waiting.append(request)
+
+    def _on_release(self, request: Request) -> None:
+        try:
+            self._granted.remove(request)
+        except ValueError:
+            raise SimulationError("release of a request that holds no unit")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._granted.append(nxt)
+            nxt.succeed(self)
+
+
+class Store(Generic[T]):
+    """Unbounded FIFO item queue with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event whose value is the item.
+    Waiters are served FIFO.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[T] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: T) -> None:
+        """Add *item*; wakes the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that yields the next item (FIFO)."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending getter created by :meth:`get`.
+
+        No-op when the event already received an item (it may have raced);
+        the caller must then consume ``event.value`` itself.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def get_nowait(self) -> Optional[T]:
+        """Pop the next item immediately, or return None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> List[T]:
+        """Remove and return all queued items (does not wake getters)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Gate:
+    """A reusable open/closed barrier.
+
+    ``wait()`` returns an event that triggers immediately when the gate is
+    open, or when it next opens.  Re-closing resets the barrier.
+    """
+
+    def __init__(self, env: Environment, open_: bool = False) -> None:
+        self.env = env
+        self._open = open_
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        event = self.env.event()
+        if self._open:
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self, value: Any = None) -> None:
+        """Open the gate, releasing all current waiters."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(value)
+
+    def close(self) -> None:
+        """Close the gate; subsequent waiters block until next open()."""
+        self._open = False

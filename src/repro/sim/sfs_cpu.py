@@ -1,0 +1,200 @@
+"""SFS-style CPU scheduling discipline.
+
+SFS (SC'22, cited as [23] in the FaaSBatch paper) is a user-space CPU
+scheduler for serverless workers: every function invocation is pinned to a
+per-core *channel* and served with **adaptive time slices** so that short
+functions approximate shortest-job-first without knowing durations in
+advance.  Long functions are demoted to a background FIFO that only runs when
+no short work is pending — "SFS improves the performance of short functions
+at the expense of increasing the execution time of long functions" (§IV).
+
+Model implemented here (a faithful small-scale reconstruction):
+
+* ``cores`` worker cores, each running at most one task at a time
+  (no processor sharing — SFS deliberately avoids preemptive sharing).
+* New tasks enter the **foreground** round-robin queue.  A task runs for one
+  time slice; if it finishes within its slice it leaves; otherwise its
+  cumulative service is charged and it is re-queued — to the foreground when
+  still below ``promotion_threshold_ms`` of total service, otherwise to the
+  **background** FIFO.
+* Background tasks are only dispatched when the foreground queue is empty
+  and then receive ``background_slice_factor`` × the foreground slice.
+* The foreground slice adapts to the recent request inter-arrival time
+  (EWMA), clamped to ``[min_slice_ms, max_slice_ms]`` — SFS's "dynamically
+  perceiving IaT of requests and assigning an adaptive size of time slices".
+
+The class exposes the same interface as
+:class:`repro.sim.cpu.FairShareCpu` (``create_group``/``submit``/accounting)
+so a machine can be constructed with either discipline.  Group caps are
+accepted but not enforced: SFS schedules function *processes* onto cores
+directly, bypassing container cgroup shares (matching its user-space design).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set
+
+from repro.common.errors import SimulationError
+from repro.common.stats import Ewma
+from repro.common.units import TIME_EPSILON, clamp
+from repro.sim.cpu import CpuGroup
+from repro.sim.kernel import Environment, Event
+from repro.sim.primitives import Store
+
+
+class SfsTask:
+    """A task moving through the SFS foreground/background queues."""
+
+    __slots__ = ("work_total", "remaining", "served", "done", "label",
+                 "started_at", "arrived_at")
+
+    def __init__(self, work: float, done: Event, label: str,
+                 arrived_at: float) -> None:
+        self.work_total = work
+        self.remaining = work
+        self.served = 0.0
+        self.done = done
+        self.label = label
+        self.started_at: Optional[float] = None
+        self.arrived_at = arrived_at
+
+    def __repr__(self) -> str:
+        return f"<SfsTask {self.label} remaining={self.remaining:.3f}>"
+
+
+class SfsCpu:
+    """Worker CPU scheduled by the SFS discipline (see module docstring)."""
+
+    HOST_GROUP = "host"
+
+    def __init__(self, env: Environment, cores: int,
+                 min_slice_ms: float = 1.0,
+                 max_slice_ms: float = 50.0,
+                 initial_slice_ms: float = 5.0,
+                 promotion_threshold_ms: float = 100.0,
+                 background_slice_factor: float = 10.0,
+                 iat_alpha: float = 0.3) -> None:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if min_slice_ms <= 0 or max_slice_ms < min_slice_ms:
+            raise ValueError("invalid slice bounds")
+        self.env = env
+        self.cores = int(cores)
+        self.min_slice_ms = min_slice_ms
+        self.max_slice_ms = max_slice_ms
+        self.promotion_threshold_ms = promotion_threshold_ms
+        self.background_slice_factor = background_slice_factor
+        self._slice = clamp(initial_slice_ms, min_slice_ms, max_slice_ms)
+        self._iat = Ewma(alpha=iat_alpha)
+        self._last_arrival: Optional[float] = None
+        self._foreground: Deque[SfsTask] = deque()
+        self._background: Deque[SfsTask] = deque()
+        self._signal: Store[int] = Store(env)
+        self._running: Set[SfsTask] = set()
+        self._busy_core_ms = 0.0
+        self._groups: Dict[str, CpuGroup] = {
+            self.HOST_GROUP: CpuGroup(self.HOST_GROUP, cap=None)}
+        self._task_sequence = 0
+        for core_index in range(self.cores):
+            env.process(self._core_loop(core_index), name=f"sfs-core-{core_index}")
+
+    # -- FairShareCpu-compatible interface -------------------------------------
+
+    def create_group(self, name: str, cap: Optional[float]) -> CpuGroup:
+        """Track a container group (cap accepted, not enforced; see module doc)."""
+        if name in self._groups:
+            raise SimulationError(f"CPU group {name!r} already exists")
+        group = CpuGroup(name, cap)
+        self._groups[name] = group
+        return group
+
+    def remove_group(self, name: str) -> None:
+        if name == self.HOST_GROUP:
+            raise SimulationError("cannot remove the host group")
+        if self._groups.pop(name, None) is None:
+            raise SimulationError(f"unknown CPU group {name!r}")
+
+    def submit(self, work: float, group: str = HOST_GROUP,
+               max_share: float = 1.0, label: str = "") -> Event:
+        """Enqueue *work* core-ms; the returned event fires on completion."""
+        if work < 0:
+            raise ValueError(f"negative work: {work}")
+        if group not in self._groups:
+            raise SimulationError(f"unknown CPU group {group!r}")
+        done = self.env.event()
+        if work == 0.0:
+            done.succeed(0.0)
+            return done
+        self._observe_arrival()
+        self._task_sequence += 1
+        task = SfsTask(work=work, done=done,
+                       label=label or f"sfs-task-{self._task_sequence}",
+                       arrived_at=self.env.now)
+        self._foreground.append(task)
+        self._signal.put(1)
+        return done
+
+    @property
+    def active_tasks(self) -> int:
+        return (len(self._foreground) + len(self._background)
+                + len(self._running))
+
+    def busy_core_ms(self) -> float:
+        """Completed core-ms, including partial slices of running tasks."""
+        return self._busy_core_ms
+
+    def current_rate(self) -> float:
+        """Cores currently executing a task."""
+        return float(len(self._running))
+
+    def utilization(self) -> float:
+        return self.current_rate() / self.cores
+
+    @property
+    def current_slice_ms(self) -> float:
+        """The adaptive foreground time slice currently in force."""
+        return self._slice
+
+    # -- internals -----------------------------------------------------------
+
+    def _observe_arrival(self) -> None:
+        now = self.env.now
+        if self._last_arrival is not None:
+            self._iat.observe(max(now - self._last_arrival, 0.0))
+            self._slice = clamp(self._iat.value,
+                                self.min_slice_ms, self.max_slice_ms)
+        self._last_arrival = now
+
+    def _pick(self) -> tuple:
+        """Pop the next task per discipline; returns (task, quantum)."""
+        if self._foreground:
+            task = self._foreground.popleft()
+            quantum = self._slice
+        elif self._background:
+            task = self._background.popleft()
+            quantum = self._slice * self.background_slice_factor
+        else:
+            raise SimulationError("SFS signalled with no queued task")
+        return task, min(quantum, task.remaining)
+
+    def _core_loop(self, core_index: int):
+        while True:
+            yield self._signal.get()
+            task, quantum = self._pick()
+            if task.started_at is None:
+                task.started_at = self.env.now
+            self._running.add(task)
+            yield self.env.timeout(quantum)
+            self._running.discard(task)
+            task.remaining -= quantum
+            task.served += quantum
+            self._busy_core_ms += quantum
+            if task.remaining <= TIME_EPSILON:
+                task.done.succeed(self.env.now - task.arrived_at)
+                continue
+            if task.served >= self.promotion_threshold_ms:
+                self._background.append(task)
+            else:
+                self._foreground.append(task)
+            self._signal.put(1)

@@ -1,0 +1,120 @@
+"""Workload generation: the paper's two benchmark workloads.
+
+* **CPU-intensive workload** — the 800-invocation replay minute (Fig. 10),
+  every invocation calling one ``fib`` function whose input N is sampled
+  from the Fig. 9 duration distribution.
+* **I/O workload** — the first 400 invocations of the same replay, each
+  creating an AWS-S3-style client (Listing 1) and performing one blob
+  operation.  All invocations use the same credentials, so their creation
+  arguments hash identically — the multiplexer's sharing opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.model.function import FunctionKind, FunctionSpec
+from repro.model.workprofile import WorkProfile, cpu_profile, io_profile
+from repro.workload.azure import (
+    IO_REPLAY_INVOCATIONS,
+    REPLAY_TOTAL_INVOCATIONS,
+    replay_minute_arrivals,
+)
+from repro.workload.durations import DurationSampler, fib_duration_ms
+from repro.workload.trace import Trace, TraceRecord
+
+#: Stable creation-argument hash: every I/O invocation passes the same
+#: (access key, secret, session token) tuple, like Listing 1.
+S3_CREDENTIALS_HASH = hash(("ACCESS_KEY", "SECRET_KEY", "SESSION_TOKEN"))
+S3_FACTORY = "boto3.client.s3"
+
+FIB_FUNCTION_ID = "fib"
+IO_FUNCTION_ID = "s3-io"
+
+
+def fib_function_spec(cpu_limit: Optional[float] = None) -> FunctionSpec:
+    """The CPU-intensive benchmark function: ``fib(N)``.
+
+    The payload of each invocation is its input ``N``; the profile burns the
+    calibrated duration of ``fib(N)`` as CPU work.
+    """
+
+    def profile(payload: object) -> WorkProfile:
+        return cpu_profile(fib_duration_ms(int(payload)))  # type: ignore[arg-type]
+
+    return FunctionSpec(function_id=FIB_FUNCTION_ID, kind=FunctionKind.CPU,
+                        profile_factory=profile, cpu_limit=cpu_limit)
+
+
+def io_function_spec(calibration: Calibration = DEFAULT_CALIBRATION,
+                     cpu_limit: Optional[float] = None) -> FunctionSpec:
+    """The I/O benchmark function: create an S3 client, do one blob op."""
+
+    def profile(payload: object) -> WorkProfile:
+        return io_profile(factory=S3_FACTORY,
+                          args_hash=S3_CREDENTIALS_HASH,
+                          blob_wait_ms=calibration.blob_operation_wait_ms)
+
+    return FunctionSpec(function_id=IO_FUNCTION_ID, kind=FunctionKind.IO,
+                        profile_factory=profile, cpu_limit=cpu_limit)
+
+
+def cpu_workload_trace(seed: int = 13,
+                       total: int = REPLAY_TOTAL_INVOCATIONS) -> Trace:
+    """The CPU workload: *total* fib invocations over the replay minute."""
+    arrivals = replay_minute_arrivals(seed=seed, total=total)
+    sampler = DurationSampler(seed=seed + 1)
+    return Trace(TraceRecord(arrival_ms=arrival,
+                             function_id=FIB_FUNCTION_ID,
+                             payload=sampler.sample_fib_n())
+                 for arrival in arrivals)
+
+
+def io_workload_trace(seed: int = 13,
+                      total: int = IO_REPLAY_INVOCATIONS) -> Trace:
+    """The I/O workload: the first *total* invocations of the replay minute.
+
+    Matches §IV: "to evaluate the I/O functions, we make use of the first
+    400 function invocations of the Azure trace".
+    """
+    full = replay_minute_arrivals(seed=seed, total=REPLAY_TOTAL_INVOCATIONS)
+    arrivals = full[:total]
+    return Trace(TraceRecord(arrival_ms=arrival,
+                             function_id=IO_FUNCTION_ID,
+                             payload=index)
+                 for index, arrival in enumerate(arrivals))
+
+
+def multi_function_trace(seed: int = 13,
+                         total: int = REPLAY_TOTAL_INVOCATIONS,
+                         functions: int = 4) -> Trace:
+    """A variant spreading the replay across several fib-like functions.
+
+    Used by tests and examples to exercise the Invoke Mapper's per-function
+    grouping (Fig. 6's λ_A / λ_B scenario).
+    """
+    if functions < 1:
+        raise ValueError(f"functions must be >= 1, got {functions}")
+    arrivals = replay_minute_arrivals(seed=seed, total=total)
+    sampler = DurationSampler(seed=seed + 1)
+    records = []
+    for index, arrival in enumerate(arrivals):
+        function_id = f"{FIB_FUNCTION_ID}-{index % functions}"
+        records.append(TraceRecord(arrival_ms=arrival,
+                                   function_id=function_id,
+                                   payload=sampler.sample_fib_n()))
+    return Trace(records)
+
+
+def fib_family_specs(functions: int,
+                     cpu_limit: Optional[float] = None) -> list:
+    """Function specs matching :func:`multi_function_trace`."""
+
+    def make_spec(function_id: str) -> FunctionSpec:
+        def profile(payload: object) -> WorkProfile:
+            return cpu_profile(fib_duration_ms(int(payload)))  # type: ignore[arg-type]
+        return FunctionSpec(function_id=function_id, kind=FunctionKind.CPU,
+                            profile_factory=profile, cpu_limit=cpu_limit)
+
+    return [make_spec(f"{FIB_FUNCTION_ID}-{i}") for i in range(functions)]

@@ -1,0 +1,112 @@
+"""Trace records and CSV persistence.
+
+A *trace* is the input to an experiment: a time-ordered list of invocation
+requests (arrival timestamp, function id, payload).  Traces are plain data;
+the generator builds them, the platform replays them, and the CSV round trip
+lets benchmark inputs be inspected and pinned as artefacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.common.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One invocation request in a workload trace."""
+
+    arrival_ms: float
+    function_id: str
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise WorkloadError(f"negative arrival time: {self.arrival_ms}")
+        if not self.function_id:
+            raise WorkloadError("empty function_id")
+
+
+class Trace:
+    """A time-ordered, immutable sequence of :class:`TraceRecord`."""
+
+    def __init__(self, records: Iterable[TraceRecord]) -> None:
+        ordered = sorted(records, key=lambda r: r.arrival_ms)
+        if not ordered:
+            raise WorkloadError("a trace needs at least one record")
+        self._records: Sequence[TraceRecord] = tuple(ordered)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def duration_ms(self) -> float:
+        return self._records[-1].arrival_ms - self._records[0].arrival_ms
+
+    @property
+    def start_ms(self) -> float:
+        """Absolute timestamp of the first arrival."""
+        return self._records[0].arrival_ms
+
+    @property
+    def end_ms(self) -> float:
+        """Absolute timestamp of the last arrival (replay runs until here)."""
+        return self._records[-1].arrival_ms
+
+    @property
+    def function_ids(self) -> List[str]:
+        """Distinct function ids, in first-appearance order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.function_id not in seen:
+                seen.append(record.function_id)
+        return seen
+
+    def head(self, count: int) -> "Trace":
+        """The first *count* records (the paper's "first 400 invocations")."""
+        if count <= 0:
+            raise WorkloadError(f"count must be > 0, got {count}")
+        return Trace(self._records[:count])
+
+    def records(self) -> Sequence[TraceRecord]:
+        return self._records
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_csv(self, path: Path | str) -> None:
+        """Write the trace as CSV (payloads JSON-encoded)."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["arrival_ms", "function_id", "payload_json"])
+            for record in self._records:
+                writer.writerow([record.arrival_ms, record.function_id,
+                                 json.dumps(record.payload)])
+
+    @classmethod
+    def from_csv(cls, path: Path | str) -> "Trace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        records: List[TraceRecord] = []
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != ["arrival_ms", "function_id", "payload_json"]:
+                raise WorkloadError(f"unrecognised trace header: {header}")
+            for row in reader:
+                if len(row) != 3:
+                    raise WorkloadError(f"malformed trace row: {row}")
+                records.append(TraceRecord(
+                    arrival_ms=float(row[0]),
+                    function_id=row[1],
+                    payload=json.loads(row[2])))
+        return cls(records)

@@ -1,0 +1,116 @@
+"""Tests for the Kraken baseline: parameters, batch sizing, both modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.kraken import (
+    KrakenConfig,
+    KrakenMode,
+    KrakenParameters,
+    KrakenScheduler,
+)
+from repro.baselines.vanilla import VanillaScheduler
+from repro.common.errors import ConfigurationError, SchedulingError
+from repro.platformsim.experiment import run_experiment
+from repro.workload.generator import cpu_workload_trace, fib_function_spec
+
+
+@pytest.fixture(scope="module")
+def vanilla_result():
+    trace = cpu_workload_trace(total=150)
+    return run_experiment(VanillaScheduler(), trace, [fib_function_spec()])
+
+
+class TestParameters:
+    def test_from_invocations_uses_98th_percentile(self, vanilla_result):
+        params = KrakenParameters.from_invocations(vanilla_result.invocations)
+        stats = vanilla_result.latency_stats()
+        assert params.slo_ms["fib"] == pytest.approx(stats.percentile(98.0))
+
+    def test_mean_execution_learned(self, vanilla_result):
+        params = KrakenParameters.from_invocations(vanilla_result.invocations)
+        executions = [i.latency.execution_ms
+                      for i in vanilla_result.invocations]
+        assert params.mean_execution_ms["fib"] == pytest.approx(
+            sum(executions) / len(executions))
+
+    def test_batch_size_is_slo_over_exec(self):
+        params = KrakenParameters(slo_ms={"f": 1_000.0},
+                                  mean_execution_ms={"f": 100.0})
+        assert params.batch_size("f") == 10
+
+    def test_batch_size_at_least_one(self):
+        params = KrakenParameters(slo_ms={"f": 10.0},
+                                  mean_execution_ms={"f": 100.0})
+        assert params.batch_size("f") == 1
+
+    def test_unknown_function_rejected(self):
+        params = KrakenParameters(slo_ms={"f": 1.0},
+                                  mean_execution_ms={"f": 1.0})
+        with pytest.raises(SchedulingError):
+            params.batch_size("g")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KrakenParameters(slo_ms={"f": 0.0}, mean_execution_ms={"f": 1.0})
+        with pytest.raises(ConfigurationError):
+            KrakenParameters.from_invocations([])
+
+    def test_config_window_validated(self):
+        params = KrakenParameters(slo_ms={"f": 1.0},
+                                  mean_execution_ms={"f": 1.0})
+        with pytest.raises(ConfigurationError):
+            KrakenConfig(parameters=params, window_ms=0.0)
+
+
+class TestPerfectMode:
+    def test_batches_reduce_containers_vs_vanilla(self, vanilla_result):
+        trace = cpu_workload_trace(total=150)
+        params = KrakenParameters.from_invocations(vanilla_result.invocations)
+        kraken = run_experiment(
+            KrakenScheduler(KrakenConfig(parameters=params)), trace,
+            [fib_function_spec()])
+        assert len(kraken.invocations) == 150
+        assert kraken.provisioned_containers < \
+            vanilla_result.provisioned_containers / 2
+
+    def test_serial_batches_accumulate_queuing(self, vanilla_result):
+        trace = cpu_workload_trace(total=150)
+        params = KrakenParameters.from_invocations(vanilla_result.invocations)
+        kraken = run_experiment(
+            KrakenScheduler(KrakenConfig(parameters=params)), trace,
+            [fib_function_spec()])
+        # Kraken is the only policy with in-container queuing (Fig. 11c).
+        assert kraken.total_queuing_ms() > 0.0
+
+    def test_container_counts_recorded_per_window(self, vanilla_result):
+        trace = cpu_workload_trace(total=150)
+        params = KrakenParameters.from_invocations(vanilla_result.invocations)
+        scheduler = KrakenScheduler(KrakenConfig(parameters=params))
+        run_experiment(scheduler, trace, [fib_function_spec()])
+        assert scheduler.window_container_counts
+        batch_size = params.batch_size("fib")
+        for count, window_total in zip(
+                scheduler.window_container_counts,
+                scheduler.window_container_counts):
+            assert count >= 1
+        assert sum(scheduler.window_container_counts) >= \
+            150 // (batch_size + 1)
+
+
+class TestEwmaMode:
+    def test_ewma_mode_completes_and_prewarms(self, vanilla_result):
+        trace = cpu_workload_trace(total=150)
+        params = KrakenParameters.from_invocations(vanilla_result.invocations)
+        scheduler = KrakenScheduler(KrakenConfig(
+            parameters=params, mode=KrakenMode.EWMA))
+        result = run_experiment(scheduler, trace, [fib_function_spec()])
+        assert len(result.invocations) == 150
+        # Forecast mode may provision at least as many containers as the
+        # perfect-information mode (it pre-warms speculatively).
+        perfect = run_experiment(
+            KrakenScheduler(KrakenConfig(parameters=params)),
+            cpu_workload_trace(total=150), [fib_function_spec()])
+        assert result.provisioned_containers >= \
+            perfect.provisioned_containers

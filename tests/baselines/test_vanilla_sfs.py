@@ -1,0 +1,92 @@
+"""Tests for the Vanilla and SFS baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import CpuDiscipline
+from repro.baselines.sfs import SfsScheduler
+from repro.baselines.vanilla import VanillaScheduler
+from repro.platformsim.experiment import run_experiment
+from repro.workload.generator import (
+    cpu_workload_trace,
+    fib_function_spec,
+    io_function_spec,
+    io_workload_trace,
+)
+
+
+class TestVanilla:
+    def test_discipline(self):
+        assert VanillaScheduler().cpu_discipline is CpuDiscipline.FAIR_SHARE
+
+    def test_completes_all_invocations(self):
+        trace = cpu_workload_trace(total=100)
+        result = run_experiment(VanillaScheduler(), trace,
+                                [fib_function_spec()])
+        assert len(result.invocations) == 100
+        assert all(i.completed_ms is not None for i in result.invocations)
+
+    def test_no_queuing_latency(self):
+        """One invocation per container: Vanilla never queues in-container."""
+        trace = cpu_workload_trace(total=80)
+        result = run_experiment(VanillaScheduler(), trace,
+                                [fib_function_spec()])
+        assert result.total_queuing_ms() == pytest.approx(0.0)
+
+    def test_burst_provisions_many_containers(self):
+        trace = io_workload_trace(total=100)
+        result = run_experiment(VanillaScheduler(), trace,
+                                [io_function_spec()])
+        # Warm reuse exists, but bursts force mass cold starts.
+        assert result.provisioned_containers > 30
+
+    def test_every_io_invocation_builds_a_client(self):
+        trace = io_workload_trace(total=60)
+        result = run_experiment(VanillaScheduler(), trace,
+                                [io_function_spec()])
+        assert result.clients_created == 60
+        assert result.client_memory_footprint_mb() == pytest.approx(
+            result.calibration.client_memory_mb)
+
+    def test_warm_starts_after_the_burst(self):
+        trace = cpu_workload_trace(total=150)
+        result = run_experiment(VanillaScheduler(), trace,
+                                [fib_function_spec()])
+        warm = [i for i in result.invocations
+                if i.latency.cold_start_ms == 0.0]
+        assert warm  # keep-alive reuse must happen across bursts
+        assert result.provisioned_containers < 150
+
+
+class TestSfs:
+    def test_discipline(self):
+        assert SfsScheduler().cpu_discipline is CpuDiscipline.SFS
+
+    def test_completes_all_invocations(self):
+        trace = cpu_workload_trace(total=100)
+        result = run_experiment(SfsScheduler(), trace,
+                                [fib_function_spec()])
+        assert len(result.invocations) == 100
+
+    def test_short_functions_favoured_under_load(self):
+        """SFS's defining trade-off: short functions finish relatively
+        earlier than under Vanilla, long functions relatively later."""
+        trace = cpu_workload_trace(total=300)
+        spec = fib_function_spec()
+        vanilla = run_experiment(VanillaScheduler(), trace, [spec])
+        sfs = run_experiment(SfsScheduler(), trace, [spec])
+
+        def split(result):
+            short, long_ = [], []
+            for invocation in result.invocations:
+                # Short = fib N in 20..26 (the paper's < 45 ms class).
+                bucket = short if invocation.payload <= 26 else long_
+                bucket.append(invocation.latency.execution_ms)
+            return (sorted(short)[len(short) // 2],
+                    sorted(long_)[len(long_) // 2])
+
+        vanilla_short, vanilla_long = split(vanilla)
+        sfs_short, sfs_long = split(sfs)
+        # Relative advantage of short functions improves under SFS.
+        assert sfs_short / sfs_long <= vanilla_short / vanilla_long * 1.05

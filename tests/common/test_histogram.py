@@ -1,0 +1,71 @@
+"""Tests for the fixed-bucket histogram."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.histogram import Bucket, BucketHistogram
+
+
+class TestBucket:
+    def test_contains_half_open(self):
+        bucket = Bucket(0.0, 50.0)
+        assert bucket.contains(0.0)
+        assert bucket.contains(49.999)
+        assert not bucket.contains(50.0)
+        assert not bucket.contains(-0.1)
+
+    def test_unbounded_tail(self):
+        bucket = Bucket(1550.0, None)
+        assert bucket.contains(1e9)
+        assert bucket.label() == "[1550, inf)"
+
+    def test_label(self):
+        assert Bucket(50.0, 100.0).label() == "[50, 100)"
+
+
+class TestBucketHistogram:
+    def test_requires_increasing_edges(self):
+        with pytest.raises(ValueError):
+            BucketHistogram([0.0])
+        with pytest.raises(ValueError):
+            BucketHistogram([0.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            BucketHistogram([1.0, 0.0])
+
+    def test_counts_by_bucket(self):
+        histogram = BucketHistogram([0.0, 50.0, 100.0])
+        histogram.extend([10.0, 20.0, 60.0, 150.0, 2000.0])
+        assert histogram.count(0) == 2
+        assert histogram.count(1) == 1
+        assert histogram.count(2) == 2  # unbounded tail
+        assert histogram.total == 5
+
+    def test_no_tail_drops_above_range(self):
+        histogram = BucketHistogram([0.0, 10.0], unbounded_tail=False)
+        histogram.add(5.0)
+        histogram.add(50.0)  # outside, counted in total but no bucket
+        assert histogram.count(0) == 1
+        assert histogram.total == 2
+
+    def test_below_first_edge(self):
+        histogram = BucketHistogram([10.0, 20.0])
+        histogram.add(5.0)
+        assert histogram.total == 1
+        assert histogram.count(0) == 0
+
+    def test_fractions(self):
+        histogram = BucketHistogram([0.0, 50.0])
+        histogram.extend([1.0, 2.0, 60.0, 70.0])
+        assert histogram.fractions() == [0.5, 0.5]
+
+    def test_fraction_of_empty_raises(self):
+        histogram = BucketHistogram([0.0, 1.0])
+        with pytest.raises(ValueError):
+            histogram.fraction(0)
+
+    def test_rows_for_reporting(self):
+        histogram = BucketHistogram([0.0, 50.0])
+        histogram.extend([10.0, 60.0])
+        rows = histogram.rows()
+        assert rows == [("[0, 50)", 1, 0.5), ("[50, inf)", 1, 0.5)]

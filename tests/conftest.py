@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.calibration import DEFAULT_CALIBRATION
+from repro.sim.kernel import Environment
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def machine(env: Environment) -> Machine:
+    """A default 32-core / 64 GB worker machine."""
+    return Machine(env)
+
+
+@pytest.fixture
+def small_machine(env: Environment) -> Machine:
+    """A 4-core machine for contention-sensitive unit tests."""
+    return Machine(env, cores=4, memory_gb=8.0)
+
+
+@pytest.fixture
+def calibration():
+    """The default calibration (immutable; copy with with_overrides)."""
+    return DEFAULT_CALIBRATION
+
+
+def run_all(env: Environment, until: float | None = None) -> None:
+    """Convenience: drive the environment to quiescence."""
+    env.run(until=until)

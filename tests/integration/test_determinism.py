@@ -1,0 +1,47 @@
+"""Determinism: identical inputs must produce byte-identical results."""
+
+from __future__ import annotations
+
+from repro.baselines import VanillaScheduler
+from repro.core import FaaSBatchScheduler
+from repro.platformsim import run_experiment
+from repro.workload import cpu_workload_trace, fib_function_spec
+
+
+def fingerprint(result):
+    """A complete, order-sensitive digest of one experiment result."""
+    return (
+        result.provisioned_containers,
+        result.completion_ms,
+        tuple((i.invocation_id,
+               i.latency.scheduling_ms,
+               i.latency.cold_start_ms,
+               i.latency.queuing_ms,
+               i.latency.execution_ms) for i in result.invocations),
+        tuple((s.time_ms, s.memory_mb, s.cpu_utilization)
+              for s in result.samples),
+    )
+
+
+class TestDeterminism:
+    def test_vanilla_run_is_reproducible(self):
+        trace = cpu_workload_trace(total=80)
+        spec = fib_function_spec()
+        first = run_experiment(VanillaScheduler(), trace, [spec])
+        second = run_experiment(VanillaScheduler(), trace, [spec])
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_faasbatch_run_is_reproducible(self):
+        trace = cpu_workload_trace(total=80)
+        spec = fib_function_spec()
+        first = run_experiment(FaaSBatchScheduler(), trace, [spec])
+        second = run_experiment(FaaSBatchScheduler(), trace, [spec])
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_different_seeds_differ(self):
+        spec = fib_function_spec()
+        first = run_experiment(VanillaScheduler(),
+                               cpu_workload_trace(total=80, seed=13), [spec])
+        second = run_experiment(VanillaScheduler(),
+                                cpu_workload_trace(total=80, seed=14), [spec])
+        assert fingerprint(first) != fingerprint(second)

@@ -1,0 +1,163 @@
+"""Integration tests: full-stack shape assertions on reduced workloads.
+
+These tests run the complete pipeline (workload synthesis → platform →
+scheduler → metrics) and assert the *qualitative* results the paper reports,
+on workloads scaled down enough to stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    KrakenConfig,
+    KrakenParameters,
+    KrakenScheduler,
+    SfsScheduler,
+    VanillaScheduler,
+)
+from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.platformsim import run_experiment
+from repro.workload import (
+    cpu_workload_trace,
+    fib_function_spec,
+    io_function_spec,
+    io_workload_trace,
+)
+
+CPU_TOTAL = 200
+IO_TOTAL = 150
+
+
+@pytest.fixture(scope="module")
+def cpu_results():
+    trace = cpu_workload_trace(total=CPU_TOTAL)
+    spec = fib_function_spec()
+    vanilla = run_experiment(VanillaScheduler(), trace, [spec])
+    sfs = run_experiment(SfsScheduler(), trace, [spec])
+    params = KrakenParameters.from_invocations(vanilla.invocations)
+    kraken = run_experiment(
+        KrakenScheduler(KrakenConfig(parameters=params)), trace, [spec])
+    ours = run_experiment(FaaSBatchScheduler(), trace, [spec])
+    return {"Vanilla": vanilla, "SFS": sfs, "Kraken": kraken,
+            "FaaSBatch": ours}
+
+
+@pytest.fixture(scope="module")
+def io_results():
+    trace = io_workload_trace(total=IO_TOTAL)
+    spec = io_function_spec()
+    vanilla = run_experiment(VanillaScheduler(), trace, [spec])
+    params = KrakenParameters.from_invocations(vanilla.invocations)
+    kraken = run_experiment(
+        KrakenScheduler(KrakenConfig(parameters=params)), trace, [spec])
+    ours = run_experiment(FaaSBatchScheduler(), trace, [spec])
+    return {"Vanilla": vanilla, "Kraken": kraken, "FaaSBatch": ours}
+
+
+class TestCpuWorkloadShapes:
+    def test_faasbatch_provisions_fewest_containers(self, cpu_results):
+        ours = cpu_results["FaaSBatch"].provisioned_containers
+        for name in ("Vanilla", "SFS", "Kraken"):
+            assert ours < cpu_results[name].provisioned_containers
+
+    def test_faasbatch_lowest_memory(self, cpu_results):
+        ours = cpu_results["FaaSBatch"].average_memory_mb()
+        for name in ("Vanilla", "SFS"):
+            assert ours < cpu_results[name].average_memory_mb() / 2
+
+    def test_vanilla_and_sfs_one_container_per_burst_invocation(
+            self, cpu_results):
+        # Vanilla/SFS spawn far more containers than FaaSBatch (§V-B2).
+        assert cpu_results["Vanilla"].provisioned_containers > \
+            5 * cpu_results["FaaSBatch"].provisioned_containers
+
+    def test_only_kraken_queues(self, cpu_results):
+        assert cpu_results["Kraken"].total_queuing_ms() > 0.0
+        for name in ("Vanilla", "SFS", "FaaSBatch"):
+            assert cpu_results[name].total_queuing_ms() == pytest.approx(0.0)
+
+    def test_kraken_exec_plus_queue_worst(self, cpu_results):
+        kraken = cpu_results["Kraken"].execution_plus_queuing_cdf()
+        vanilla = cpu_results["Vanilla"].execution_plus_queuing_cdf()
+        assert kraken.quantile(0.9) > vanilla.quantile(0.9)
+
+    def test_faasbatch_scheduling_tail_beats_vanilla(self, cpu_results):
+        ours = cpu_results["FaaSBatch"].scheduling_cdf()
+        vanilla = cpu_results["Vanilla"].scheduling_cdf()
+        assert ours.quantile(0.98) < vanilla.quantile(0.98)
+
+    def test_execution_comparable_vanilla_vs_faasbatch(self, cpu_results):
+        """Fig. 11(c): Vanilla and FaaSBatch deliver similar execution."""
+        ours = cpu_results["FaaSBatch"].execution_cdf().quantile(0.5)
+        vanilla = cpu_results["Vanilla"].execution_cdf().quantile(0.5)
+        assert ours < max(5.0 * vanilla, vanilla + 200.0)
+
+
+class TestIoWorkloadShapes:
+    def test_client_footprint_fig14d(self, io_results):
+        """Baselines pay ~15 MB per invocation; FaaSBatch a fraction."""
+        vanilla_mb = io_results["Vanilla"].client_memory_footprint_mb()
+        ours_mb = io_results["FaaSBatch"].client_memory_footprint_mb()
+        assert vanilla_mb == pytest.approx(15.0)
+        assert ours_mb < 1.5
+        assert vanilla_mb / ours_mb > 10.0
+
+    def test_faasbatch_execution_band(self, io_results):
+        """Fig. 12(c): almost all FaaSBatch I/O executions in 10-100 ms
+        once the cache is warm, while baselines spread to seconds."""
+        ours = io_results["FaaSBatch"].execution_cdf()
+        vanilla = io_results["Vanilla"].execution_cdf()
+        assert ours.quantile(0.9) < 1_000.0
+        assert vanilla.quantile(0.9) > ours.quantile(0.9)
+
+    def test_cold_start_savings(self, io_results):
+        ours = io_results["FaaSBatch"].cold_start_cdf()
+        vanilla = io_results["Vanilla"].cold_start_cdf()
+        assert ours.quantile(0.98) <= vanilla.quantile(0.98)
+
+    def test_multiplexer_reuse_dominates(self, io_results):
+        result = io_results["FaaSBatch"]
+        assert result.clients_created <= result.provisioned_containers
+        assert result.clients_created < IO_TOTAL / 10
+
+
+class TestAblation:
+    def test_multiplexer_off_restores_per_invocation_clients(self):
+        trace = io_workload_trace(total=80)
+        spec = io_function_spec()
+        with_mux = run_experiment(FaaSBatchScheduler(), trace, [spec])
+        without = run_experiment(
+            FaaSBatchScheduler(FaaSBatchConfig(multiplex_resources=False)),
+            trace, [spec])
+        assert without.clients_created == 80
+        assert with_mux.clients_created < 10
+        assert without.client_memory_footprint_mb() > \
+            10 * with_mux.client_memory_footprint_mb()
+
+    def test_inline_parallel_off_adds_queuing(self):
+        trace = cpu_workload_trace(total=80)
+        spec = fib_function_spec()
+        serial = run_experiment(
+            FaaSBatchScheduler(FaaSBatchConfig(inline_parallel=False)),
+            trace, [spec])
+        parallel = run_experiment(FaaSBatchScheduler(), trace, [spec])
+        assert serial.total_queuing_ms() > 0.0
+        assert serial.execution_plus_queuing_cdf().quantile(0.98) > \
+            parallel.execution_plus_queuing_cdf().quantile(0.98)
+
+
+class TestDispatchIntervalTrend:
+    def test_larger_window_fewer_containers(self):
+        """§V-B5: larger dispatch intervals stuff more invocations per
+        container, reducing FaaSBatch's container count and memory."""
+        trace = io_workload_trace(total=120)
+        spec = io_function_spec()
+        small = run_experiment(
+            FaaSBatchScheduler(FaaSBatchConfig(window_ms=10.0)),
+            trace, [spec])
+        large = run_experiment(
+            FaaSBatchScheduler(FaaSBatchConfig(window_ms=500.0)),
+            trace, [spec])
+        assert large.provisioned_containers <= small.provisioned_containers
+        assert large.average_memory_mb() <= small.average_memory_mb() * 1.2

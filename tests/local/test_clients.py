@@ -1,0 +1,77 @@
+"""Tests for the fake storage clients."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.local.clients import (
+    FakeBlobServiceClient,
+    FakeS3Client,
+    InMemoryBucketStore,
+)
+
+
+class TestInMemoryBucketStore:
+    def test_round_trip(self):
+        store = InMemoryBucketStore()
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+        assert len(store) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ReproError):
+            InMemoryBucketStore().get("missing")
+
+    def test_delete_is_idempotent(self):
+        store = InMemoryBucketStore()
+        store.put("k", b"v")
+        store.delete("k")
+        store.delete("k")
+        assert len(store) == 0
+
+
+class TestFakeS3Client:
+    def test_construction_costs_time(self):
+        start = time.monotonic()
+        FakeS3Client("AK", "SK", construction_seconds=0.03,
+                     store=InMemoryBucketStore())
+        assert time.monotonic() - start >= 0.03
+
+    def test_requires_credentials(self):
+        with pytest.raises(ReproError):
+            FakeS3Client("", "SK", construction_seconds=0.0)
+
+    def test_crud_surface(self):
+        store = InMemoryBucketStore()
+        client = FakeS3Client("AK", "SK", store=store,
+                              construction_seconds=0.0)
+        client.put_object(Bucket="b", Key="k", Body=b"data")
+        assert client.get_object(Bucket="b", Key="k") == b"data"
+        client.delete_object(Bucket="b", Key="k")
+        with pytest.raises(ReproError):
+            client.get_object(Bucket="b", Key="k")
+
+    def test_clients_share_backing_store(self):
+        store = InMemoryBucketStore()
+        writer = FakeS3Client("AK", "SK", store=store,
+                              construction_seconds=0.0)
+        reader = FakeS3Client("AK", "SK", store=store,
+                              construction_seconds=0.0)
+        writer.put_object(Bucket="b", Key="k", Body=b"shared")
+        assert reader.get_object(Bucket="b", Key="k") == b"shared"
+
+
+class TestFakeBlobClient:
+    def test_upload_download(self):
+        store = InMemoryBucketStore()
+        client = FakeBlobServiceClient("https://acct", "cred", store=store,
+                                       construction_seconds=0.0)
+        client.upload_blob("c", "n", b"blob")
+        assert client.download_blob("c", "n") == b"blob"
+
+    def test_requires_account_url(self):
+        with pytest.raises(ReproError):
+            FakeBlobServiceClient("", "cred", construction_seconds=0.0)

@@ -1,0 +1,243 @@
+"""Tests for the local runtime: containers, platform, policies."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ContainerStateError,
+    FunctionNotRegistered,
+)
+from repro.local.clients import FakeS3Client, InMemoryBucketStore
+from repro.local.container import LocalContainer, LocalInvocation
+from repro.local.runtime import LocalPlatform, LocalPlatformConfig
+
+
+def echo_handler(payload, context):
+    return payload
+
+
+class TestLocalContainer:
+    def make(self, **kwargs):
+        return LocalContainer(container_id="c-0", function_name="echo",
+                              handler=echo_handler, **kwargs)
+
+    def test_batch_executes_all(self):
+        container = self.make()
+        invocations = [LocalInvocation(f"i{i}", "echo", i)
+                       for i in range(5)]
+        container.execute_batch(invocations)
+        assert [inv.future.result(timeout=1) for inv in invocations] == \
+            list(range(5))
+        assert container.invocations_served == 5
+        assert container.is_idle
+
+    def test_handler_exception_reaches_future(self):
+        def boom(payload, context):
+            raise ValueError("nope")
+
+        container = LocalContainer("c-0", "boom", boom)
+        invocation = LocalInvocation("i0", "boom", None)
+        container.execute_batch([invocation])
+        with pytest.raises(ValueError, match="nope"):
+            invocation.future.result(timeout=1)
+
+    def test_concurrency_limit_serialises(self):
+        active = []
+        peak = [0]
+        lock = threading.Lock()
+
+        def tracked(payload, context):
+            with lock:
+                active.append(1)
+                peak[0] = max(peak[0], len(active))
+            time.sleep(0.005)
+            with lock:
+                active.pop()
+
+        container = LocalContainer("c-0", "t", tracked, concurrency=1)
+        container.execute_batch(
+            [LocalInvocation(f"i{i}", "t", None) for i in range(4)])
+        assert peak[0] == 1
+
+    def test_unbounded_concurrency_overlaps(self):
+        peak = [0]
+        count = [0]
+        lock = threading.Lock()
+
+        def tracked(payload, context):
+            with lock:
+                count[0] += 1
+                peak[0] = max(peak[0], count[0])
+            time.sleep(0.02)
+            with lock:
+                count[0] -= 1
+
+        container = LocalContainer("c-0", "t", tracked)
+        container.execute_batch(
+            [LocalInvocation(f"i{i}", "t", None) for i in range(8)])
+        assert peak[0] > 1
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().execute_batch([])
+
+    def test_stopped_container_rejects_work(self):
+        container = self.make()
+        container.stop()
+        with pytest.raises(ContainerStateError):
+            container.execute_batch([LocalInvocation("i0", "echo", 0)])
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(concurrency=0)
+
+    def test_latency_accessors_require_completion(self):
+        invocation = LocalInvocation("i0", "echo", None)
+        with pytest.raises(ContainerStateError):
+            _ = invocation.latency_seconds
+
+
+class TestLocalPlatform:
+    def test_invoke_returns_result(self):
+        platform = LocalPlatform()
+        platform.register("echo", echo_handler)
+        assert platform.invoke("echo", 42).result(timeout=5) == 42
+        platform.shutdown()
+
+    def test_decorator_registration(self):
+        platform = LocalPlatform()
+
+        @platform.function()
+        def double(payload, context):
+            return payload * 2
+
+        assert platform.invoke("double", 21).result(timeout=5) == 42
+        platform.shutdown()
+
+    def test_unknown_function_rejected(self):
+        platform = LocalPlatform()
+        with pytest.raises(FunctionNotRegistered):
+            platform.invoke("ghost")
+        platform.shutdown()
+
+    def test_duplicate_registration_rejected(self):
+        platform = LocalPlatform()
+        platform.register("echo", echo_handler)
+        with pytest.raises(ConfigurationError):
+            platform.register("echo", echo_handler)
+        platform.shutdown()
+
+    def test_burst_lands_in_few_containers(self):
+        platform = LocalPlatform(LocalPlatformConfig(
+            window_seconds=0.05, cold_start_seconds=0.0))
+
+        @platform.function()
+        def work(payload, context):
+            time.sleep(0.002)
+            return payload
+
+        futures = platform.invoke_many("work", list(range(30)))
+        platform.drain()
+        assert all(f.result(timeout=1) == i for i, f in enumerate(futures))
+        assert platform.containers_created <= 3
+        platform.shutdown()
+
+    def test_vanilla_uses_container_per_invocation_in_burst(self):
+        platform = LocalPlatform(LocalPlatformConfig.vanilla())
+        gate = threading.Event()
+
+        @platform.function()
+        def blocked(payload, context):
+            gate.wait(1.0)
+            return payload
+
+        futures = platform.invoke_many("blocked", list(range(10)))
+        time.sleep(0.3)  # let every invocation claim its container
+        gate.set()
+        platform.drain()
+        assert all(f.result(timeout=2) is not None or True for f in futures)
+        assert platform.containers_created == 10
+        platform.shutdown()
+
+    def test_multiplexer_shares_clients_within_platform(self):
+        store = InMemoryBucketStore()
+        platform = LocalPlatform(LocalPlatformConfig(window_seconds=0.05))
+
+        @platform.function()
+        def io_fn(payload, context):
+            client = context.create_resource(
+                FakeS3Client, "AK", "SK", store=store,
+                construction_seconds=0.005)
+            client.put_object(Bucket="b", Key=str(payload), Body=b"v")
+            return id(client)
+
+        futures = platform.invoke_many("io_fn", list(range(20)))
+        platform.drain()
+        client_ids = {f.result(timeout=2) for f in futures}
+        assert len(client_ids) <= platform.containers_created
+        assert platform.multiplexer_reuse_ratio() > 0.5
+        assert len(store) == 20
+        platform.shutdown()
+
+    def test_latencies_recorded(self):
+        platform = LocalPlatform()
+        platform.register("echo", echo_handler)
+        platform.invoke("echo", 1).result(timeout=5)
+        platform.drain()
+        latencies = platform.latencies_seconds()
+        assert len(latencies) == 1
+        assert latencies[0] >= 0.0
+        platform.shutdown()
+
+    def test_invoke_after_shutdown_rejected(self):
+        platform = LocalPlatform()
+        platform.register("echo", echo_handler)
+        platform.shutdown()
+        with pytest.raises(ConfigurationError):
+            platform.invoke("echo", 1)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalPlatformConfig(policy="magic")
+
+
+class TestKeepAlive:
+    def test_idle_containers_expire(self):
+        platform = LocalPlatform(LocalPlatformConfig(
+            window_seconds=0.01, cold_start_seconds=0.0,
+            keep_alive_seconds=0.05))
+        platform.register("echo", echo_handler)
+        platform.invoke("echo", 1).result(timeout=5)
+        platform.drain()
+        assert platform.containers_created == 1
+        deadline = time.monotonic() + 2.0
+        while platform.containers_expired == 0 and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert platform.containers_expired == 1
+        # A new request after expiry cold-starts a fresh container.
+        platform.invoke("echo", 2).result(timeout=5)
+        platform.drain()
+        assert platform.containers_created == 2
+        platform.shutdown()
+
+    def test_reuse_within_keep_alive_window(self):
+        platform = LocalPlatform(LocalPlatformConfig(
+            window_seconds=0.01, cold_start_seconds=0.0,
+            keep_alive_seconds=5.0))
+        platform.register("echo", echo_handler)
+        for i in range(3):
+            platform.invoke("echo", i).result(timeout=5)
+            platform.drain()
+        assert platform.containers_created == 1
+        assert platform.containers_expired == 0
+        platform.shutdown()
+
+    def test_invalid_keep_alive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalPlatformConfig(keep_alive_seconds=0.0)

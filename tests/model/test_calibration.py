@@ -1,0 +1,55 @@
+"""Tests for the calibration constants."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+class TestDefaults:
+    def test_matches_paper_worker_vm(self):
+        assert DEFAULT_CALIBRATION.worker_cores == 32
+        assert DEFAULT_CALIBRATION.worker_memory_gb == 64.0
+
+    def test_client_creation_matches_fig4_anchor(self):
+        assert DEFAULT_CALIBRATION.client_creation_work_ms == 66.0
+
+    def test_client_memory_matches_fig14d(self):
+        assert DEFAULT_CALIBRATION.client_memory_mb == 15.0
+
+    def test_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.worker_cores = 8  # type: ignore[misc]
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        custom = DEFAULT_CALIBRATION.with_overrides(worker_cores=8)
+        assert custom.worker_cores == 8
+        assert DEFAULT_CALIBRATION.worker_cores == 32
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_CALIBRATION.with_overrides(worker_cores=0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("worker_cores", -1),
+        ("worker_memory_gb", 0),
+        ("cold_start_latency_ms", -1.0),
+        ("container_memory_mb", 0.0),
+        ("keep_alive_ms", 0.0),
+        ("client_creation_work_ms", 0.0),
+        ("client_contention_exponent", 0.0),
+        ("client_memory_mb", -5.0),
+        ("multiplexer_hit_ms", -0.1),
+        ("blob_operation_wait_ms", -1.0),
+        ("sdk_import_work_ms", -1.0),
+        ("scheduling_cpu_work_per_decision_ms", -1.0),
+    ])
+    def test_each_field_validated(self, field, value):
+        with pytest.raises(ConfigurationError):
+            Calibration(**{field: value}).validated()

@@ -1,0 +1,118 @@
+"""Tests for the structured decision log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import VanillaScheduler
+from repro.common.eventlog import EventKind, EventLog, LogRecord
+from repro.core import FaaSBatchScheduler
+from repro.model.calibration import DEFAULT_CALIBRATION
+from repro.platformsim.experiment import run_experiment
+from repro.platformsim.gateway import start_replay
+from repro.platformsim.platform import ServerlessPlatform
+from repro.sim.kernel import Environment
+from repro.sim.machine import Machine
+from repro.workload.generator import cpu_workload_trace, fib_function_spec
+
+
+class TestEventLogUnit:
+    def test_disabled_by_default(self):
+        log = EventLog()
+        log.record(0.0, EventKind.REQUEST_ARRIVED)
+        assert len(log) == 0
+
+    def test_enable_disable(self):
+        log = EventLog().enable()
+        log.record(1.0, EventKind.WARM_HIT, container_id="c-0")
+        log.disable()
+        log.record(2.0, EventKind.WARM_HIT)
+        assert len(log) == 1
+
+    def test_capacity_drops_oldest(self):
+        log = EventLog(enabled=True, capacity=3)
+        for i in range(5):
+            log.record(float(i), EventKind.REQUEST_ARRIVED, index=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r.get("index") for r in log] == [2, 3, 4]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_queries(self):
+        log = EventLog(enabled=True)
+        log.record(1.0, EventKind.REQUEST_ARRIVED, invocation_id="i0")
+        log.record(2.0, EventKind.WARM_HIT, container_id="c-1")
+        log.record(3.0, EventKind.INVOCATION_COMPLETED,
+                   invocation_id="i0", container_id="c-1")
+        assert log.count(EventKind.WARM_HIT) == 1
+        assert len(log.of_kind(EventKind.REQUEST_ARRIVED)) == 1
+        assert len(log.between(1.5, 3.5)) == 2
+        assert len(log.for_container("c-1")) == 2
+        assert len(log.for_invocation("i0")) == 2
+        with pytest.raises(ValueError):
+            log.between(5.0, 1.0)
+
+    def test_to_csv(self):
+        log = EventLog(enabled=True)
+        log.record(1.5, EventKind.LAUNCH_DECISION, reason="cold")
+        text = log.to_csv()
+        assert "launch-decision" in text
+        assert "reason=cold" in text
+
+    def test_log_record_get_default(self):
+        record = LogRecord(0.0, EventKind.WARM_HIT, {})
+        assert record.get("missing", "fallback") == "fallback"
+
+
+class TestPlatformIntegration:
+    def run_with_log(self, scheduler, total=40):
+        """Run a small experiment on a platform with logging enabled."""
+        trace = cpu_workload_trace(total=total)
+        spec = fib_function_spec()
+        env = Environment()
+        machine = Machine(env)
+        platform = ServerlessPlatform(env, machine, DEFAULT_CALIBRATION,
+                                      event_log=EventLog(enabled=True))
+        platform.register_function(spec)
+        done = platform.expect_invocations(len(trace))
+        scheduler.start(platform)
+        start_replay(platform, trace)
+
+        def waiter():
+            yield done
+
+        env.run_process(env.process(waiter()))
+        return platform
+
+    def test_every_request_logged(self):
+        platform = self.run_with_log(VanillaScheduler())
+        log = platform.event_log
+        assert log.count(EventKind.REQUEST_ARRIVED) == 40
+        assert log.count(EventKind.INVOCATION_COMPLETED) == 40
+        assert log.count(EventKind.INVOCATION_FAILED) == 0
+
+    def test_cold_starts_bracketed(self):
+        platform = self.run_with_log(VanillaScheduler())
+        log = platform.event_log
+        began = log.count(EventKind.COLD_START_BEGAN)
+        ended = log.count(EventKind.COLD_START_ENDED)
+        assert began == ended == platform.provisioned_containers()
+        # Warm hits + cold starts cover every container acquisition.
+        assert log.count(EventKind.WARM_HIT) + began >= 40
+
+    def test_faasbatch_fewer_decisions_than_requests(self):
+        platform = self.run_with_log(FaaSBatchScheduler())
+        log = platform.event_log
+        assert log.count(EventKind.DISPATCH_DECISION) < \
+            log.count(EventKind.REQUEST_ARRIVED)
+        batches = log.of_kind(EventKind.BATCH_STARTED)
+        assert sum(int(r.get("batch_size")) for r in batches) == 40
+
+    def test_experiment_runner_leaves_log_off_by_default(self):
+        trace = cpu_workload_trace(total=20)
+        result = run_experiment(VanillaScheduler(), trace,
+                                [fib_function_spec()])
+        assert len(result.invocations) == 20  # and no crash from logging

@@ -1,0 +1,312 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    EventAlreadyTriggered,
+    ProcessInterrupted,
+    SimulationError,
+)
+from repro.sim.kernel import Environment
+
+
+class TestEventBasics:
+    def test_event_starts_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_attaches_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_succeed_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_then_succeed_rejected(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        seen = []
+
+        def proc():
+            yield env.timeout(25.0)
+            seen.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert seen == [25.0]
+
+    def test_zero_timeout_fires_immediately(self, env):
+        seen = []
+
+        def proc():
+            yield env.timeout(0.0)
+            seen.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert seen == [0.0]
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_carries_value(self, env):
+        got = []
+
+        def proc():
+            value = yield env.timeout(1.0, value="payload")
+            got.append(value)
+
+        env.process(proc())
+        env.run()
+        assert got == ["payload"]
+
+
+class TestProcess:
+    def test_return_value_becomes_process_value(self, env):
+        def proc():
+            yield env.timeout(5.0)
+            return "done"
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == "done"
+
+    def test_process_is_waitable(self, env):
+        def child():
+            yield env.timeout(10.0)
+            return 7
+
+        results = []
+
+        def parent():
+            value = yield env.process(child())
+            results.append((env.now, value))
+
+        env.process(parent())
+        env.run()
+        assert results == [(10.0, 7)]
+
+    def test_unhandled_crash_propagates_from_run(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            raise RuntimeError("kaputt")
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="kaputt"):
+            env.run()
+
+    def test_joiner_receives_child_exception(self, env):
+        def child():
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        caught = []
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(parent())
+        env.run()
+        assert caught == ["inner"]
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        process = env.process(proc())
+        with pytest.raises(SimulationError, match="not an Event"):
+            env.run()
+        assert process.triggered
+
+    def test_run_process_returns_value(self, env):
+        def proc():
+            yield env.timeout(3.0)
+            return "x"
+
+        assert env.run_process(env.process(proc())) == "x"
+
+    def test_run_process_detects_deadlock(self, env):
+        def proc():
+            yield env.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run_process(env.process(proc()))
+
+    def test_run_process_respects_until(self, env):
+        def proc():
+            yield env.timeout(100.0)
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            env.run_process(env.process(proc()), until=10.0)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except ProcessInterrupted as exc:
+                causes.append((env.now, exc.cause))
+
+        process = env.process(victim())
+
+        def attacker():
+            yield env.timeout(5.0)
+            process.interrupt("stop it")
+
+        env.process(attacker())
+        env.run()
+        # Delivered at t=5, not when the abandoned timeout would have fired.
+        assert causes == [(5.0, "stop it")]
+
+    def test_interrupted_process_can_continue(self, env):
+        trace = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except ProcessInterrupted:
+                trace.append(("interrupted", env.now))
+            yield env.timeout(10.0)
+            trace.append(("resumed", env.now))
+
+        process = env.process(victim())
+
+        def attacker():
+            yield env.timeout(5.0)
+            process.interrupt()
+
+        env.process(attacker())
+        env.run()
+        assert trace == [("interrupted", 5.0), ("resumed", 15.0)]
+
+    def test_interrupting_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+
+class TestComposites:
+    def test_all_of_waits_for_every_child(self, env):
+        results = []
+
+        def proc():
+            values = yield env.timeout(5.0, "a") & env.timeout(10.0, "b")
+            results.append((env.now, values))
+
+        env.process(proc())
+        env.run()
+        assert results == [(10.0, ["a", "b"])]
+
+    def test_any_of_takes_the_first(self, env):
+        results = []
+
+        def proc():
+            winner, value = yield env.timeout(5.0, "fast") | env.timeout(9.0)
+            results.append((env.now, value))
+
+        env.process(proc())
+        env.run()
+        assert results == [(5.0, "fast")]
+
+    def test_all_of_fails_fast(self, env):
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(2.0)
+            bad.fail(RuntimeError("child failed"))
+
+        caught = []
+
+        def waiter():
+            try:
+                yield env.all_of([env.timeout(50.0), bad])
+            except RuntimeError as exc:
+                caught.append((env.now, str(exc)))
+
+        env.process(failer())
+        env.process(waiter())
+        env.run()
+        assert caught == [(2.0, "child failed")]
+
+    def test_all_of_on_already_processed_children(self, env):
+        def proc():
+            first = env.timeout(1.0, "x")
+            yield first
+            values = yield env.all_of([first])
+            return values
+
+        assert env.run_process(env.process(proc())) == ["x"]
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_fifo_order(self, env):
+        order = []
+
+        def make(tag):
+            def proc():
+                yield env.timeout(10.0)
+                order.append(tag)
+            return proc
+
+        for tag in ("a", "b", "c", "d"):
+            env.process(make(tag)())
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_run_until_stops_the_clock(self, env):
+        def proc():
+            yield env.timeout(100.0)
+
+        env.process(proc())
+        env.run(until=30.0)
+        assert env.now == 30.0
+        env.run()
+        assert env.now == 100.0
+
+    def test_peek_reports_next_event_time(self, env):
+        env.timeout(42.0)
+        assert env.peek() == 42.0
+
+    def test_peek_empty_queue_is_infinite(self, env):
+        env.run()
+        assert env.peek() == float("inf")
+
+    def test_step_on_empty_queue_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.step()

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workload.trace import Trace
+
+
+class TestCompare:
+    def test_compare_cpu(self, capsys):
+        assert main(["compare", "--workload", "cpu", "--total", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler summary" in out
+        for name in ("Vanilla", "SFS", "Kraken", "FaaSBatch"):
+            assert name in out
+        assert "Reductions achieved by FaaSBatch" in out
+
+    def test_compare_io_with_cdfs(self, capsys):
+        assert main(["compare", "--workload", "io", "--total", "60",
+                     "--cdfs"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduling latency CDF" in out
+        assert "cold_start latency CDF" in out
+
+
+class TestSweep:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--workload", "io", "--total", "60",
+                     "--windows", "50,200"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch-interval sweep" in out
+        assert "0.05" in out and "0.20" in out
+
+
+class TestTrace:
+    def test_trace_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        assert main(["trace", "--workload", "cpu", "--total", "50",
+                     "--out", str(out_path)]) == 0
+        trace = Trace.from_csv(out_path)
+        assert len(trace) == 50
+
+
+class TestAzureCommands:
+    def test_sample_then_replay(self, tmp_path, capsys):
+        assert main(["sample-azure", "--dir", str(tmp_path),
+                     "--functions", "3"]) == 0
+        assert main(["replay-azure", "--dir", str(tmp_path),
+                     "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Azure trace replay" in out
+
+    def test_replay_missing_files_errors(self, tmp_path, capsys):
+        assert main(["replay-azure", "--dir", str(tmp_path)]) == 2
+        assert "could not locate" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,120 @@
+"""Tests for the Azure replay synthesiser (Fig. 10 / Fig. 2) and the
+Blob IaT model (Fig. 3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workload.azure import (
+    IO_REPLAY_INVOCATIONS,
+    REPLAY_TOTAL_INVOCATIONS,
+    DailyPatternGenerator,
+    replay_minute_arrivals,
+)
+from repro.workload.blob import (
+    TRACE_DAYS,
+    combined_model,
+    day_model,
+    iat_cdf,
+)
+from repro.workload.arrivals import per_second_counts
+
+
+class TestReplayMinute:
+    def test_exactly_800_in_60s(self):
+        arrivals = replay_minute_arrivals()
+        assert len(arrivals) == REPLAY_TOTAL_INVOCATIONS == 800
+        assert all(0.0 <= a < 60_000.0 for a in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_per_seed(self):
+        assert replay_minute_arrivals(seed=13) == replay_minute_arrivals(seed=13)
+        assert replay_minute_arrivals(seed=13) != replay_minute_arrivals(seed=14)
+
+    def test_burstiness(self):
+        """Most of the minute's volume concentrates in a few seconds."""
+        arrivals = replay_minute_arrivals()
+        counts = per_second_counts(arrivals, 60_000.0)
+        top5 = sum(sorted(counts, reverse=True)[:5])
+        assert top5 > 0.5 * len(arrivals)
+        # ...but the background keeps many seconds non-empty.
+        assert sum(1 for c in counts if c > 0) > 20
+
+    def test_io_subset_constant(self):
+        assert IO_REPLAY_INVOCATIONS == 400
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(WorkloadError):
+            replay_minute_arrivals(total=0)
+
+
+class TestDailyPatterns:
+    def test_1440_minutes(self):
+        generator = DailyPatternGenerator()
+        counts = generator.minute_counts(0)
+        assert len(counts) == 1440
+        assert all(c >= 0 for c in counts)
+
+    def test_hot_functions_exceed_1000_invocations(self):
+        """Fig. 2's selection criterion: >1000 invocations per day."""
+        generator = DailyPatternGenerator()
+        for rank in range(3):
+            assert sum(generator.minute_counts(rank)) > 1_000
+
+    def test_patterns_are_bursty(self):
+        """Fig. 2: bursty with tight temporal locality, not uniform."""
+        generator = DailyPatternGenerator()
+        for rank in range(3):
+            counts = generator.minute_counts(rank)
+            index = generator.burstiness_index(counts)
+            assert index > 0.3  # top 10% of minutes carry >30% of volume
+
+    def test_deterministic_per_rank(self):
+        generator = DailyPatternGenerator(seed=9)
+        assert generator.minute_counts(1) == \
+            DailyPatternGenerator(seed=9).minute_counts(1)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(WorkloadError):
+            DailyPatternGenerator().minute_counts(-1)
+
+    def test_burstiness_index_validates_length(self):
+        generator = DailyPatternGenerator()
+        with pytest.raises(WorkloadError):
+            generator.burstiness_index([1, 2, 3])
+
+
+class TestBlobIatModel:
+    def test_combined_cdf_matches_paper_quantiles(self):
+        """Fig. 3: ~80% of re-accesses within 100 ms, ~90% within 1 s."""
+        cdf = iat_cdf(combined_model(), samples=30_000)
+        within_100ms = cdf.probability_at(100.0)
+        within_1s = cdf.probability_at(1_000.0)
+        assert within_100ms == pytest.approx(0.80, abs=0.02)
+        assert within_1s == pytest.approx(0.90, abs=0.02)
+
+    def test_day_models_perturb_but_stay_close(self):
+        for day in range(1, TRACE_DAYS + 1):
+            model = day_model(day)
+            assert 0.70 <= model.burst_weight <= 0.88
+            total = (model.burst_weight + model.near_weight
+                     + model.far_weight)
+            assert total == pytest.approx(1.0)
+
+    def test_day_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            day_model(0)
+        with pytest.raises(WorkloadError):
+            day_model(15)
+
+    def test_samples_positive(self):
+        rng = random.Random(0)
+        for sample in combined_model().sample_many(1_000, rng):
+            assert sample > 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            combined_model().sample_many(0, random.Random(0))

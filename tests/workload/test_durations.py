@@ -1,0 +1,103 @@
+"""Tests for the duration distribution (Fig. 9) and the fib table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.workload.durations import (
+    DURATION_BUCKETS,
+    FIB_DURATION_MS,
+    DurationSampler,
+    bucket_probabilities,
+    duration_bucket_index,
+    empirical_bucket_fractions,
+    fib_duration_ms,
+)
+
+
+class TestFibTable:
+    def test_covers_paper_range(self):
+        assert set(FIB_DURATION_MS) == set(range(20, 37))
+
+    def test_n26_anchor(self):
+        """§IV: fib with N between 20 and 26 completes in < 45 ms."""
+        assert fib_duration_ms(26) == pytest.approx(45.0)
+        for n in range(20, 27):
+            assert fib_duration_ms(n) <= 45.0
+
+    def test_golden_ratio_growth(self):
+        for n in range(21, 37):
+            ratio = fib_duration_ms(n) / fib_duration_ms(n - 1)
+            assert 1.55 < ratio < 1.70
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            fib_duration_ms(19)
+        with pytest.raises(WorkloadError):
+            fib_duration_ms(37)
+
+    def test_bucket_ns_produce_durations_inside_their_bucket(self):
+        for lower, upper, _probability, ns in DURATION_BUCKETS:
+            for n in ns:
+                duration = fib_duration_ms(n)
+                assert lower <= duration
+                assert duration < upper
+
+
+class TestBucketProbabilities:
+    def test_matches_fig9_values(self):
+        published = [0.5513, 0.0696, 0.0561, 0.1108, 0.1109, 0.1013]
+        probabilities = bucket_probabilities()
+        for got, want in zip(probabilities, published):
+            assert got == pytest.approx(want, abs=1e-3)
+
+    def test_normalised(self):
+        assert sum(bucket_probabilities()) == pytest.approx(1.0)
+
+
+class TestSampler:
+    def test_deterministic_per_seed(self):
+        assert DurationSampler(seed=5).sample_many(100) == \
+            DurationSampler(seed=5).sample_many(100)
+
+    def test_different_seeds_differ(self):
+        assert DurationSampler(seed=1).sample_many(100) != \
+            DurationSampler(seed=2).sample_many(100)
+
+    def test_large_sample_matches_distribution(self):
+        sampler = DurationSampler(seed=0)
+        durations = [fib_duration_ms(n) for n in sampler.sample_many(20_000)]
+        fractions = empirical_bucket_fractions(durations)
+        for got, want in zip(fractions, bucket_probabilities()):
+            assert got == pytest.approx(want, abs=0.02)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            DurationSampler().sample_many(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_samples_always_valid_fib_inputs(self, seed):
+        sampler = DurationSampler(seed=seed)
+        for n in sampler.sample_many(50):
+            assert 20 <= n <= 36
+
+
+class TestBucketIndex:
+    @pytest.mark.parametrize("duration,index", [
+        (0.0, 0), (49.9, 0), (50.0, 1), (150.0, 2),
+        (399.9, 3), (1000.0, 4), (1550.0, 5), (1e9, 5),
+    ])
+    def test_boundaries(self, duration, index):
+        assert duration_bucket_index(duration) == index
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            duration_bucket_index(-1.0)
+
+    def test_empty_fractions_rejected(self):
+        with pytest.raises(WorkloadError):
+            empirical_bucket_fractions([])
