@@ -1,18 +1,33 @@
 """Latency breakdown analysis: where each policy's time goes.
 
-The paper narrates its CDFs component by component; this helper reduces an
+The paper narrates its CDFs component by component; this module reduces an
 experiment result to a per-component summary (mean and tail of scheduling,
 cold-start, queuing, execution) so tables can show at a glance *why* one
 policy beats another — e.g. Vanilla losing on scheduling+cold start while
 Kraken loses on queuing.
+
+Since the observability layer landed, breakdowns are **derived from the
+invocation trace** whenever one was recorded: every summary is computed
+from the typed stage spans (queued / cold-start / dispatched / executing),
+after checking the trace invariants — each timeline must be gap-free,
+monotone, and its stage durations must sum to the invocation's end-to-end
+latency within :data:`~repro.obs.trace.TIME_TOLERANCE_MS`.  Runs without
+tracing fall back to the per-invocation latency stamps, which the
+integration tests pin to be span-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.common.stats import SampleStats
+from repro.obs.trace import (
+    STAGE_ORDER,
+    STAGE_TO_COMPONENT,
+    InvocationTimeline,
+    InvocationTracer,
+)
 from repro.platformsim.results import ExperimentResult
 
 COMPONENTS = ("scheduling", "cold_start", "queuing", "execution")
@@ -29,20 +44,25 @@ class ComponentSummary:
     share_of_total: float  # fraction of the summed mean latency
 
 
-def summarize_components(result: ExperimentResult) -> List[ComponentSummary]:
-    """Reduce a result to per-component summaries (successful only)."""
-    invocations = result.successful_invocations()
-    if not invocations:
-        raise ValueError("no successful invocations to summarise")
-    stats = {
-        "scheduling": SampleStats(i.latency.scheduling_ms
-                                  for i in invocations),
-        "cold_start": SampleStats(i.latency.cold_start_ms
-                                  for i in invocations),
-        "queuing": SampleStats(i.latency.queuing_ms for i in invocations),
-        "execution": SampleStats(i.latency.execution_ms
-                                 for i in invocations),
-    }
+class TraceInvariantError(ValueError):
+    """A recorded trace violates the span invariants (a platform bug)."""
+
+    def __init__(self, problems: Sequence[str]) -> None:
+        preview = "; ".join(problems[:3])
+        more = f" (+{len(problems) - 3} more)" if len(problems) > 3 else ""
+        super().__init__(f"trace invariants violated: {preview}{more}")
+        self.problems = list(problems)
+
+
+def check_trace_invariants(tracer: InvocationTracer) -> None:
+    """Raise :class:`TraceInvariantError` on any invalid timeline."""
+    problems = tracer.validate_all()
+    if problems:
+        raise TraceInvariantError(problems)
+
+
+def _summaries_from_stats(stats: Dict[str, SampleStats]
+                          ) -> List[ComponentSummary]:
     total_mean = sum(s.mean for s in stats.values())
     summaries = []
     for component in COMPONENTS:
@@ -55,6 +75,46 @@ def summarize_components(result: ExperimentResult) -> List[ComponentSummary]:
             share_of_total=(component_stats.mean / total_mean
                             if total_mean > 0 else 0.0)))
     return summaries
+
+
+def summarize_timelines(timelines: Iterable[InvocationTimeline]
+                        ) -> List[ComponentSummary]:
+    """Per-component summaries derived from span timelines (successful only)."""
+    stats: Dict[str, SampleStats] = {c: SampleStats() for c in COMPONENTS}
+    count = 0
+    for timeline in timelines:
+        if timeline.failed:
+            continue
+        count += 1
+        for stage in STAGE_ORDER[:-1]:  # RESPONDING is not a §IV component
+            stats[STAGE_TO_COMPONENT[stage]].add(timeline.duration_of(stage))
+    if count == 0:
+        raise ValueError("no successful timelines to summarise")
+    return _summaries_from_stats(stats)
+
+
+def summarize_components(result: ExperimentResult) -> List[ComponentSummary]:
+    """Reduce a result to per-component summaries (successful only).
+
+    Prefers the recorded span trace (validating its invariants first);
+    falls back to the invocation latency stamps when tracing was off.
+    """
+    if result.trace is not None and len(result.trace):
+        check_trace_invariants(result.trace)
+        return summarize_timelines(result.trace.timelines())
+    invocations = result.successful_invocations()
+    if not invocations:
+        raise ValueError("no successful invocations to summarise")
+    stats = {
+        "scheduling": SampleStats(i.latency.scheduling_ms
+                                  for i in invocations),
+        "cold_start": SampleStats(i.latency.cold_start_ms
+                                  for i in invocations),
+        "queuing": SampleStats(i.latency.queuing_ms for i in invocations),
+        "execution": SampleStats(i.latency.execution_ms
+                                 for i in invocations),
+    }
+    return _summaries_from_stats(stats)
 
 
 def breakdown_table(results: Sequence[ExperimentResult]):

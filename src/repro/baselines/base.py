@@ -18,6 +18,7 @@ from typing import List, TYPE_CHECKING
 from repro.model.container import SimContainer
 from repro.model.function import Invocation
 from repro.common.eventlog import EventKind
+from repro.obs.metrics import DEFAULT_SIZE_EDGES as SIZE_EDGES
 from repro.sim.machine import CpuDiscipline
 
 if TYPE_CHECKING:
@@ -54,9 +55,18 @@ class Scheduler(abc.ABC):
         now = platform.env.now
         for invocation in invocations:
             invocation.mark_dispatched(now, cold_start_ms)
+            platform.obs.tracer.invocation_dispatched(
+                invocation.invocation_id, now, cold_start_ms,
+                container.container_id)
         platform.event_log.record(now, EventKind.BATCH_STARTED,
                                   container_id=container.container_id,
                                   batch_size=len(invocations))
+        platform.obs.tracer.container_event(
+            container.container_id, "batch-started", now,
+            batch_size=len(invocations))
+        platform.obs.metrics.histogram(
+            "scheduler.batch_size", edges=SIZE_EDGES).observe(
+                len(invocations))
         yield container.execute_batch(invocations)
         # Batch semantics shared by all published batch schemes (§III-C):
         # the response returns when the whole (sub-)batch has completed.

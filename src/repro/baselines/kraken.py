@@ -33,6 +33,7 @@ from repro.baselines.base import CpuDiscipline, Scheduler
 from repro.common.errors import ConfigurationError, SchedulingError
 from repro.common.stats import Ewma, SampleStats
 from repro.model.function import Invocation
+from repro.obs.metrics import DEFAULT_SIZE_EDGES as SIZE_EDGES
 from repro.platformsim.windows import collect_window
 
 if TYPE_CHECKING:
@@ -146,6 +147,8 @@ class KrakenScheduler(Scheduler):
 
     def _dispatch_window(self, platform: "ServerlessPlatform",
                          batch: List[Invocation]) -> None:
+        metrics = platform.obs.metrics
+        metrics.counter("kraken.windows").inc()
         groups: Dict[str, List[Invocation]] = {}
         for invocation in batch:
             groups.setdefault(invocation.function.function_id,
@@ -154,6 +157,8 @@ class KrakenScheduler(Scheduler):
             batch_size = self.config.parameters.batch_size(function_id)
             containers_needed = math.ceil(len(invocations) / batch_size)
             self.window_container_counts.append(containers_needed)
+            metrics.histogram("kraken.containers_per_window",
+                              edges=SIZE_EDGES).observe(containers_needed)
             if self.config.mode is KrakenMode.EWMA:
                 self._observe(function_id, len(invocations))
             for index in range(containers_needed):
@@ -192,6 +197,9 @@ class KrakenScheduler(Scheduler):
             needed = math.ceil(predictor.value / batch_size)
             shortfall = needed - platform.pool.idle_count(function_id)
             function = platform.functions[function_id]
+            if shortfall > 0:
+                platform.obs.metrics.counter(
+                    "kraken.prewarms").inc(shortfall)
             for _ in range(max(0, shortfall)):
                 platform.env.process(
                     self._prewarm_one(platform, function),

@@ -36,8 +36,12 @@ class VanillaScheduler(Scheduler):
         platform.env.process(self._serve(platform), name="vanilla-loop")
 
     def _serve(self, platform: "ServerlessPlatform"):
+        # Metric prefix follows the concrete policy (SFS subclasses this).
+        handled = platform.obs.metrics.counter(
+            f"{self.name.lower()}.handled")
         while True:
             invocation: Invocation = yield platform.request_queue.get()
+            handled.inc()
             platform.env.process(
                 self._handle(platform, invocation),
                 name=f"vanilla:{invocation.invocation_id}")

@@ -5,13 +5,20 @@ Subcommands
 ``compare``       run the four schedulers on a workload, print summary +
                   latency CDFs and reduction tables.
 ``sweep``         sweep FaaSBatch's dispatch interval (the §V-B5 study).
-``trace``         generate a workload trace and write it to CSV.
+``trace``         generate a workload trace and write it to CSV;
+                  ``trace summarize`` reduces an exported span trace
+                  (``--trace out.jsonl``) to per-stage latency tables.
 ``sample-azure``  write small sample files in the real Azure trace format.
 ``replay-azure``  replay real (or sample) Azure trace files.
 
+Experiment commands accept ``--trace PATH`` to record every invocation's
+span timeline (queued / cold-start / dispatched / executing / responding)
+and export it as JSON Lines for ``trace summarize`` or external tooling.
+
 Examples::
 
-    python -m repro compare --workload io --total 200
+    python -m repro compare --workload io --total 200 --trace spans.jsonl
+    python -m repro trace summarize spans.jsonl
     python -m repro sweep --workload io --windows 10,100,200,500
     python -m repro trace --workload cpu --total 800 --out replay.csv
     python -m repro sample-azure --dir ./azure-sample
@@ -23,9 +30,10 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import SchedulerComparison, latency_cdf_tables
+from repro.analysis.breakdown import check_trace_invariants
 from repro.baselines import (
     KrakenConfig,
     KrakenParameters,
@@ -33,8 +41,16 @@ from repro.baselines import (
     SfsScheduler,
     VanillaScheduler,
 )
+from repro.common.stats import SampleStats
 from repro.common.tables import render_table
 from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.obs import (
+    Observability,
+    InvocationTracer,
+    read_jsonl,
+    span_records,
+    write_jsonl,
+)
 from repro.platformsim import ExperimentResult, run_experiment
 from repro.workload import (
     cpu_workload_trace,
@@ -60,27 +76,50 @@ def _workload(name: str, total: Optional[int], seed: int):
     return io_workload_trace(seed=seed, total=size), [io_function_spec()]
 
 
-def _run_all_schedulers(trace, specs, window_ms: float,
-                        label: str) -> List[ExperimentResult]:
+def _obs(tracing: bool) -> Optional[Observability]:
+    return Observability(tracing=True) if tracing else None
+
+
+def _run_all_schedulers(trace, specs, window_ms: float, label: str,
+                        tracing: bool = False) -> List[ExperimentResult]:
     vanilla = run_experiment(VanillaScheduler(), trace, specs,
-                             workload_label=label)
-    sfs = run_experiment(SfsScheduler(), trace, specs, workload_label=label)
+                             workload_label=label, obs=_obs(tracing))
+    sfs = run_experiment(SfsScheduler(), trace, specs, workload_label=label,
+                         obs=_obs(tracing))
     params = KrakenParameters.from_invocations(vanilla.invocations)
     kraken = run_experiment(
         KrakenScheduler(KrakenConfig(parameters=params,
                                      window_ms=window_ms)),
-        trace, specs, workload_label=label)
+        trace, specs, workload_label=label, obs=_obs(tracing))
     ours = run_experiment(
         FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)),
-        trace, specs, workload_label=label)
+        trace, specs, workload_label=label, obs=_obs(tracing))
     return [vanilla, sfs, kraken, ours]
+
+
+def _export_span_traces(path,
+                        labeled: Sequence[Tuple[str, InvocationTracer]]
+                        ) -> int:
+    """Validate and write every run's spans to one JSONL file."""
+    total = 0
+    with open(path, "w") as handle:
+        for name, tracer in labeled:
+            check_trace_invariants(tracer)
+            total += write_jsonl(handle, tracer, extra={"scheduler": name})
+    return total
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     trace, specs = _workload(args.workload, args.total, args.seed)
     print(f"Running 4 schedulers over {len(trace)} {args.workload} "
           f"invocations (window {args.window} ms)...")
-    results = _run_all_schedulers(trace, specs, args.window, args.workload)
+    results = _run_all_schedulers(trace, specs, args.window, args.workload,
+                                  tracing=args.trace is not None)
+    if args.trace is not None:
+        lines = _export_span_traces(
+            args.trace,
+            [(r.scheduler_name, r.trace) for r in results])
+        print(f"Wrote {lines} span/event records to {args.trace}")
     rows = [result.summary_row() for result in results]
     print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
                        title="Scheduler summary"))
@@ -100,16 +139,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     trace, specs = _workload(args.workload, args.total, args.seed)
     windows = [float(w) for w in args.windows.split(",")]
     rows = []
+    traced: List[Tuple[str, InvocationTracer]] = []
     for window_ms in windows:
         scheduler = FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms))
         result = run_experiment(scheduler, trace, specs,
                                 workload_label=args.workload,
-                                window_ms=window_ms)
+                                window_ms=window_ms,
+                                obs=_obs(args.trace is not None))
+        if args.trace is not None:
+            traced.append((f"FaaSBatch[{window_ms:g}ms]", result.trace))
         stats = result.latency_stats()
         rows.append([window_ms / 1000.0, result.provisioned_containers,
                      round(result.average_memory_mb(), 1),
                      round(stats.median, 1),
                      round(stats.percentile(98.0), 1)])
+    if args.trace is not None:
+        lines = _export_span_traces(args.trace, traced)
+        print(f"Wrote {lines} span/event records to {args.trace}")
     print(render_table(
         ["window_s", "containers", "avg_mem_MB", "p50_ms", "p98_ms"], rows,
         title=f"FaaSBatch dispatch-interval sweep ({args.workload})"))
@@ -117,9 +163,48 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.out is None:
+        print("error: --out is required when generating a trace",
+              file=sys.stderr)
+        return 2
     trace, _specs = _workload(args.workload, args.total, args.seed)
     trace.to_csv(args.out)
     print(f"Wrote {len(trace)} records to {args.out}")
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    try:
+        records = read_jsonl(args.input)
+    except (OSError, ValueError) as error:  # ValueError: malformed JSON
+        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+        return 2
+    spans = span_records(records)
+    if not spans:
+        print(f"error: no span records in {args.input}", file=sys.stderr)
+        return 2
+    # (scheduler, stage) → duration samples, insertion-ordered.
+    groups: Dict[Tuple[str, str], SampleStats] = {}
+    invocations: Dict[str, set] = {}
+    for span in spans:
+        scheduler = str(span.get("scheduler", "-"))
+        key = (scheduler, str(span["stage"]))
+        groups.setdefault(key, SampleStats()).add(
+            float(span["end_ms"]) - float(span["start_ms"]))
+        invocations.setdefault(scheduler, set()).add(span["invocation_id"])
+    rows = [[scheduler, stage, stats.count,
+             round(stats.mean, 2), round(stats.median, 2),
+             round(stats.percentile(98.0), 2), round(stats.total, 1)]
+            for (scheduler, stage), stats in groups.items()]
+    print(render_table(
+        ["scheduler", "stage", "count", "mean_ms", "p50_ms", "p98_ms",
+         "total_ms"],
+        rows, title=f"Span summary ({args.input})"))
+    events = len(records) - len(spans)
+    per_scheduler = ", ".join(f"{name}: {len(ids)}"
+                              for name, ids in invocations.items())
+    print(f"{len(spans)} spans over {per_scheduler} invocations; "
+          f"{events} container events")
     return 0
 
 
@@ -149,7 +234,13 @@ def cmd_replay_azure(args: argparse.Namespace) -> int:
     specs = builder.build_specs(keys)
     print(f"Replaying {len(trace)} invocations of {len(keys)} hottest "
           f"functions (minutes {start}-{end})...")
-    results = _run_all_schedulers(trace, specs, args.window, "azure-file")
+    results = _run_all_schedulers(trace, specs, args.window, "azure-file",
+                                  tracing=args.trace is not None)
+    if args.trace is not None:
+        lines = _export_span_traces(
+            args.trace,
+            [(r.scheduler_name, r.trace) for r in results])
+        print(f"Wrote {lines} span/event records to {args.trace}")
     rows = [result.summary_row() for result in results]
     print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
                        title="Scheduler summary (Azure trace replay)"))
@@ -165,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p):
         p.add_argument("--seed", type=int, default=13)
 
+    def add_tracing(p):
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record span timelines and export them as "
+                            "JSON Lines to PATH")
+
     compare = sub.add_parser("compare",
                              help="run all four schedulers on a workload")
     compare.add_argument("--workload", choices=("cpu", "io"), default="cpu")
@@ -175,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--cdfs", action="store_true",
                          help="print the latency CDF panels too")
     add_common(compare)
+    add_tracing(compare)
     compare.set_defaults(func=cmd_compare)
 
     sweep = sub.add_parser("sweep", help="sweep the dispatch interval")
@@ -183,14 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--windows", default="10,100,200,500",
                        help="comma-separated window sizes in ms")
     add_common(sweep)
+    add_tracing(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
-    trace = sub.add_parser("trace", help="write a generated trace to CSV")
+    trace = sub.add_parser(
+        "trace",
+        help="write a generated trace to CSV, or summarize a span trace")
     trace.add_argument("--workload", choices=("cpu", "io"), default="cpu")
     trace.add_argument("--total", type=int, default=None)
-    trace.add_argument("--out", required=True)
+    trace.add_argument("--out", default=None)
     add_common(trace)
     trace.set_defaults(func=cmd_trace)
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="reduce an exported span trace (JSONL) to per-stage tables")
+    summarize.add_argument("input", help="JSONL file written via --trace")
+    summarize.set_defaults(func=cmd_trace_summarize)
 
     sample = sub.add_parser("sample-azure",
                             help="write sample Azure-format trace files")
@@ -211,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--end-minute", type=int, default=MINUTES_PER_DAY)
     replay.add_argument("--window", type=float, default=200.0)
     add_common(replay)
+    add_tracing(replay)
     replay.set_defaults(func=cmd_replay_azure)
     return parser
 

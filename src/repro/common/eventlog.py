@@ -16,6 +16,7 @@ from __future__ import annotations
 import csv
 import enum
 import io
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -113,13 +114,18 @@ class EventLog:
     # -- export ------------------------------------------------------------------
 
     def to_csv(self) -> str:
-        """Flatten the log to CSV (time, kind, detail key=value pairs)."""
+        """Flatten the log to CSV (time, kind, details as a JSON object).
+
+        The details column is JSON (sorted keys, non-serialisable values
+        stringified) so values containing ``;``/``=``/quotes survive the
+        round trip — the old ``key=value;...`` join produced unparseable
+        rows for any detail containing those characters.
+        """
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(["time_ms", "kind", "details"])
         for record in self._records:
-            detail_text = ";".join(
-                f"{key}={value}" for key, value in
-                sorted(record.details.items()))
+            detail_text = json.dumps(record.details, sort_keys=True,
+                                     default=str)
             writer.writerow([record.time_ms, record.kind.value, detail_text])
         return buffer.getvalue()

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.model.function import FunctionSpec, Invocation
-from repro.platformsim.windows import collect_window
+from repro.platformsim.windows import collect_window_timed
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Store
 
@@ -70,9 +70,12 @@ class InvokeMapper:
 
         Usage: ``groups = yield from mapper.collect_groups(env, queue)``.
         Groups preserve arrival order within each function.
+
+        The window opens at the *first arrival*, not when the mapper starts
+        waiting: on sparse workloads the mapper can idle for seconds before
+        a request shows up, and that idle time is not part of the window.
         """
-        window_start = env.now
-        batch: List[Invocation] = yield from collect_window(
+        batch, window_start = yield from collect_window_timed(
             env, queue, self.window_ms)
         groups = self.group_invocations(batch, window_start_ms=window_start,
                                         window_end_ms=env.now)

@@ -64,10 +64,16 @@ class InlineParallelProducer:
         now = platform.env.now
         for invocation in group.invocations:
             invocation.mark_dispatched(now, cold_start_ms)
+            platform.obs.tracer.invocation_dispatched(
+                invocation.invocation_id, now, cold_start_ms,
+                container.container_id)
         platform.event_log.record(now, EventKind.BATCH_STARTED,
                                   container_id=container.container_id,
                                   batch_size=group.size,
                                   function_id=group.function_id)
+        platform.obs.tracer.container_event(
+            container.container_id, "batch-started", now,
+            batch_size=group.size, function_id=group.function_id)
         if self.early_return:
             # Future-work extension: each caller gets its response the
             # moment its own invocation finishes.

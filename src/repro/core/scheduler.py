@@ -24,6 +24,7 @@ from repro.baselines.base import CpuDiscipline, Scheduler
 from repro.core.config import FaaSBatchConfig
 from repro.core.mapper import FunctionGroup, InvokeMapper
 from repro.core.producer import InlineParallelProducer
+from repro.obs.metrics import DEFAULT_SIZE_EDGES as SIZE_EDGES
 
 if TYPE_CHECKING:
     from repro.platformsim.platform import ServerlessPlatform
@@ -47,10 +48,15 @@ class FaaSBatchScheduler(Scheduler):
         platform.env.process(self._serve(platform), name="faasbatch-loop")
 
     def _serve(self, platform: "ServerlessPlatform"):
+        metrics = platform.obs.metrics
         while True:
             groups = yield from self.mapper.collect_groups(
                 platform.env, platform.request_queue)
+            metrics.counter("faasbatch.windows").inc()
+            metrics.counter("faasbatch.groups").inc(len(groups))
             for group in groups:
+                metrics.histogram("faasbatch.group_size",
+                                  edges=SIZE_EDGES).observe(group.size)
                 platform.env.process(
                     self._run_group(platform, group),
                     name=f"faasbatch-group:{group.function_id}")

@@ -31,7 +31,7 @@ from __future__ import annotations
 import functools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple, TypeVar
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 
 from repro.common.errors import MultiplexerError
 

@@ -35,6 +35,7 @@ from repro.sim.primitives import Resource
 
 if TYPE_CHECKING:  # avoid a runtime model -> core import cycle
     from repro.core.multiplexer import SimResourceMultiplexer
+    from repro.obs.trace import InvocationTracer
 
 
 class ContainerState(enum.Enum):
@@ -58,11 +59,13 @@ class SimContainer:
                  calibration: Calibration,
                  concurrency_limit: Optional[int] = None,
                  multiplexer: Optional["SimResourceMultiplexer"] = None,
-                 isolate_failures: bool = True) -> None:
+                 isolate_failures: bool = True,
+                 tracer: Optional["InvocationTracer"] = None) -> None:
         """``isolate_failures`` mirrors real platforms: a handler exception
         fails *that invocation* (an error response to the caller) without
         crashing the container or the rest of the batch.  Tests can set it
-        to False to let failures propagate."""
+        to False to let failures propagate.  ``tracer`` (optional) receives
+        the execution-stage span boundaries of every invocation served."""
         if concurrency_limit is not None and concurrency_limit < 1:
             raise ValueError(
                 f"concurrency_limit must be >= 1 or None, got {concurrency_limit}")
@@ -73,6 +76,7 @@ class SimContainer:
         self.calibration = calibration
         self.multiplexer = multiplexer
         self.isolate_failures = isolate_failures
+        self.tracer = tracer
         self.invocations_failed = 0
         self.state = ContainerState.CREATED
         self.cold_start_ms: Optional[float] = None
@@ -206,6 +210,10 @@ class SimContainer:
                 yield slot
             invocation.mark_execution_start(self.env.now)
             invocation.container_id = self.container_id
+            if self.tracer is not None:
+                self.tracer.execution_started(
+                    invocation.invocation_id, self.env.now,
+                    self.container_id)
             self.machine.memory.allocate(
                 self._memory_owner, self.calibration.invocation_memory_mb)
             try:
@@ -216,9 +224,15 @@ class SimContainer:
                     self._memory_owner, self.calibration.invocation_memory_mb)
             invocation.mark_completed(self.env.now)
             self.invocations_served += 1
+            if self.tracer is not None:
+                self.tracer.execution_completed(
+                    invocation.invocation_id, self.env.now)
         except BaseException as error:
             invocation.mark_failed(self.env.now, error)
             self.invocations_failed += 1
+            if self.tracer is not None:
+                self.tracer.execution_failed(
+                    invocation.invocation_id, self.env.now, error)
             if not self.isolate_failures:
                 raise
         finally:

@@ -24,6 +24,7 @@ from repro.sim.machine import Machine
 
 if TYPE_CHECKING:
     from repro.core.multiplexer import SimResourceMultiplexer
+    from repro.obs import Observability
 
 
 class ContainerHandle:
@@ -86,10 +87,16 @@ class _ContainerCollection:
             function=function,
             calibration=client.calibration,
             concurrency_limit=concurrency_limit,
-            multiplexer=multiplexer)
+            multiplexer=multiplexer,
+            tracer=client.obs.tracer if client.obs is not None else None)
         start = client.env.process(container.start(),
                                    name=f"start:{container.container_id}")
         client._register(container)
+        if client.obs is not None:
+            client.obs.metrics.counter("docker.containers_created").inc()
+            if multiplexer is not None:
+                client.obs.metrics.counter(
+                    "docker.multiplexed_containers").inc()
         return ContainerHandle(container, start)
 
     def get(self, container_id: str) -> ContainerHandle:
@@ -110,11 +117,13 @@ class SimDockerClient:
 
     def __init__(self, env: Environment, machine: Machine,
                  calibration: Calibration,
-                 ids: Optional[IdFactory] = None) -> None:
+                 ids: Optional[IdFactory] = None,
+                 obs: Optional["Observability"] = None) -> None:
         self.env = env
         self.machine = machine
         self.calibration = calibration
         self.ids = ids if ids is not None else IdFactory()
+        self.obs = obs
         self._containers: Dict[str, SimContainer] = {}
         self.containers = _ContainerCollection(self)
 

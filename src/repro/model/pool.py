@@ -8,7 +8,9 @@ subsequent invocations of the same function warm-start (§I).  The pool:
 * receives containers back after execution and schedules their expiry
   ``keep_alive_ms`` later — cancelled if the container is re-acquired first;
 * tracks the *provisioned containers* count (every container ever started),
-  the metric of Figs. 13(b)/14(b).
+  the metric of Figs. 13(b)/14(b);
+* publishes its accounting into an optional
+  :class:`~repro.obs.metrics.MetricsRegistry` (``pool.*`` namespace).
 """
 
 from __future__ import annotations
@@ -17,18 +19,21 @@ from collections import defaultdict
 from typing import Callable, DefaultDict, Dict, List, Optional
 
 from repro.common.errors import ContainerStateError
-from repro.model.container import SimContainer
+from repro.model.container import ContainerState, SimContainer
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Environment
 
 
 class ContainerPool:
     """Keep-alive pool of warm containers, keyed by function id."""
 
-    def __init__(self, env: Environment, keep_alive_ms: float) -> None:
+    def __init__(self, env: Environment, keep_alive_ms: float,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if keep_alive_ms <= 0:
             raise ValueError(f"keep_alive_ms must be > 0, got {keep_alive_ms}")
         self.env = env
         self.keep_alive_ms = keep_alive_ms
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._idle: DefaultDict[str, List[SimContainer]] = defaultdict(list)
         #: Expiry epoch per container id; bumping it cancels pending expiry.
         self._lease_version: Dict[str, int] = {}
@@ -36,6 +41,9 @@ class ContainerPool:
         self.warm_hits = 0
         self.cold_misses = 0
         self.expired_total = 0
+        #: Containers found non-idle on the idle list (stopped out of band);
+        #: they are retired with full accounting instead of silently leaking.
+        self.stale_evictions = 0
         self._on_expire: Optional[Callable[[SimContainer], None]] = None
 
     # -- acquisition ------------------------------------------------------------
@@ -50,13 +58,18 @@ class ContainerPool:
             if container.is_idle:
                 self._bump(container)
                 self.warm_hits += 1
+                self.metrics.counter("pool.warm_hits").inc()
+                self._publish_idle_gauge()
                 return container
+            self._evict_stale(container)
         self.cold_misses += 1
+        self.metrics.counter("pool.cold_misses").inc()
         return None
 
     def register_started(self, container: SimContainer) -> None:
         """Count a freshly cold-started container as provisioned."""
         self.provisioned_total += 1
+        self.metrics.counter("pool.provisioned").inc()
         self._bump(container)
 
     def release(self, container: SimContainer) -> None:
@@ -66,6 +79,8 @@ class ContainerPool:
                 f"{container.container_id} returned to pool while not idle")
         self._idle[container.function.function_id].append(container)
         version = self._bump(container)
+        self.metrics.counter("pool.releases").inc()
+        self._publish_idle_gauge()
         self.env.process(self._expire_later(container, version),
                          name=f"expire:{container.container_id}")
 
@@ -92,6 +107,7 @@ class ContainerPool:
                 self._bump(container)
                 container.stop()
                 drained.append(container)
+        self._publish_idle_gauge()
         return drained
 
     # -- internals ----------------------------------------------------------------
@@ -100,6 +116,27 @@ class ContainerPool:
         version = self._lease_version.get(container.container_id, 0) + 1
         self._lease_version[container.container_id] = version
         return version
+
+    def _evict_stale(self, container: SimContainer) -> None:
+        """Retire a container found non-idle on the idle list.
+
+        Such a container was stopped (or re-activated) out of band while
+        parked.  It must leave the pool's accounting cleanly: bump its lease
+        so any pending expiry process stands down, stop it if it is still
+        stoppable, and count the eviction — dropping it silently would leak
+        it from every metric (the pre-fix behaviour).
+        """
+        self._bump(container)
+        if container.state is not ContainerState.STOPPED \
+                and not container.active_invocations \
+                and container.state is not ContainerState.STARTING:
+            container.stop()
+        self.stale_evictions += 1
+        self.metrics.counter("pool.stale_evictions").inc()
+        self._publish_idle_gauge()
+
+    def _publish_idle_gauge(self) -> None:
+        self.metrics.gauge("pool.idle").set(self.idle_count())
 
     def _expire_later(self, container: SimContainer, version: int):
         yield self.env.timeout(self.keep_alive_ms)
@@ -110,5 +147,7 @@ class ContainerPool:
             idle.remove(container)
             container.stop()
             self.expired_total += 1
+            self.metrics.counter("pool.expired").inc()
+            self._publish_idle_gauge()
             if self._on_expire is not None:
                 self._on_expire(container)

@@ -1,0 +1,97 @@
+"""Observability: per-invocation span tracing and a platform metrics registry.
+
+One :class:`Observability` object travels with a platform instance and is
+the single publishing point for every layer:
+
+* :class:`~repro.obs.trace.InvocationTracer` — typed per-invocation stage
+  spans (queued → cold-start → dispatched → executing → responding),
+  reconstructable into per-invocation and per-container timelines;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  deterministically-bucketed histograms published by the platform, the
+  warm pool, the docker facade and all four schedulers.
+
+Both are pure observers: they never create simulation events, so enabling
+them cannot change a simulated result (the determinism tests assert this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_EDGES_MS,
+    DEFAULT_SIZE_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    STAGE_ORDER,
+    STAGE_TO_COMPONENT,
+    TIME_TOLERANCE_MS,
+    ContainerEvent,
+    InvocationTimeline,
+    InvocationTracer,
+    Span,
+    Stage,
+    read_jsonl,
+    span_records,
+    write_jsonl,
+)
+from repro.sim.kernel import Environment
+
+
+class Observability:
+    """Tracer + metrics bundle handed to a :class:`ServerlessPlatform`.
+
+    ``tracing`` controls the span tracer (off by default — full-scale runs
+    produce hundreds of thousands of spans); metrics are always on, they
+    are a handful of counters per event.
+    """
+
+    def __init__(self, tracing: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[InvocationTracer] = None) -> None:
+        self.tracer = tracer if tracer is not None \
+            else InvocationTracer(enabled=tracing)
+        if tracing:
+            self.tracer.enable()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bound_env: Optional[Environment] = None
+
+    def bind(self, env: Environment) -> None:
+        """Install the monotonic-time hook on *env* (idempotent per env).
+
+        The hook maintains the ``sim.time_ms`` gauge so metric snapshots
+        carry the simulated-time high-water mark; it performs no
+        simulation work of its own.
+        """
+        if self._bound_env is env:
+            return
+        self._bound_env = env
+        gauge = self.metrics.gauge("sim.time_ms")
+        gauge.set(env.now)
+        env.add_time_hook(lambda _old, new: gauge.set(new))
+
+
+__all__ = [
+    "ContainerEvent",
+    "Counter",
+    "DEFAULT_LATENCY_EDGES_MS",
+    "DEFAULT_SIZE_EDGES",
+    "Gauge",
+    "Histogram",
+    "InvocationTimeline",
+    "InvocationTracer",
+    "MetricsRegistry",
+    "Observability",
+    "STAGE_ORDER",
+    "STAGE_TO_COMPONENT",
+    "Span",
+    "Stage",
+    "TIME_TOLERANCE_MS",
+    "read_jsonl",
+    "span_records",
+    "write_jsonl",
+]

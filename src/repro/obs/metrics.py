@@ -1,0 +1,243 @@
+"""Metrics registry: counters, gauges and deterministically-bucketed histograms.
+
+Every layer of the platform publishes into one :class:`MetricsRegistry` —
+the pool its hit/miss/expiry accounting, the docker facade its container
+churn, the schedulers their window and batch shapes, the platform its
+decision counts and latency distributions.  The registry is *observational*:
+recording a sample never creates simulation events, so enabling metrics can
+never change a simulated result.
+
+Determinism
+-----------
+Histogram buckets are fixed at construction (default: a 1-2-5 decade series
+in milliseconds), so two identical runs produce byte-identical snapshots and
+snapshots are safe to diff in tests and pinned artefacts.  ``snapshot()``
+orders everything by metric name.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default histogram edges: a 1-2-5 decade ladder from 1 ms to 5 minutes.
+#: Chosen once and fixed so breakdown histograms are comparable across runs.
+DEFAULT_LATENCY_EDGES_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+    100_000.0, 200_000.0, 300_000.0,
+)
+
+#: Small-integer edges for size-shaped metrics (batch sizes, group counts).
+DEFAULT_SIZE_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 89.0, 144.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc({amount}))")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. idle containers)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with half-open buckets ``[edge_i, edge_i+1)``.
+
+    Samples below the first edge land in an underflow bucket; samples at or
+    above the last edge land in the unbounded tail.  Tracks count/sum/min/max
+    exactly, so means are not subject to bucketing error.
+    """
+
+    def __init__(self, name: str,
+                 edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS) -> None:
+        if len(edges) < 2:
+            raise ValueError(f"histogram {name} needs at least two edges")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"histogram {name} edges must be "
+                             "strictly increasing")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        #: counts[0] is the underflow bucket; counts[-1] the unbounded tail.
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} is empty")
+        return self.sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the upper edge of the q-th bucket.
+
+        Deterministic and conservative (rounds up to a bucket boundary);
+        exact per-sample quantiles belong to :class:`~repro.common.stats`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} is empty")
+        target = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= target and bucket_count:
+                if index == 0:
+                    return self.edges[0]
+                if index <= len(self.edges) - 1:
+                    return self.edges[index]
+                return self.max if self.max is not None else self.edges[-1]
+        return self.max if self.max is not None else self.edges[-1]
+
+    def bucket_rows(self) -> List[Tuple[str, int]]:
+        """``(label, count)`` per non-empty bucket, for reports."""
+        rows: List[Tuple[str, int]] = []
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if index == 0:
+                label = f"(-inf, {self.edges[0]:g})"
+            elif index <= len(self.edges) - 1:
+                label = f"[{self.edges[index - 1]:g}, {self.edges[index]:g})"
+            else:
+                label = f"[{self.edges[-1]:g}, inf)"
+            rows.append((label, bucket_count))
+        return rows
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One row of the registry's tabular snapshot."""
+
+    name: str
+    kind: str
+    value: float
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics.
+
+    Names are dot-namespaced by the publishing layer (``pool.warm_hits``,
+    ``docker.containers_created``, ``faasbatch.group_size``).  Re-requesting
+    a name returns the existing metric; re-requesting it as a different
+    *type* is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, requested "
+                    f"{kind.__name__}")
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS
+                  ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, edges))
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deterministic, JSON-serialisable dump of every metric."""
+        out: Dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "buckets": metric.bucket_rows(),
+                }
+            else:
+                kind = "counter" if isinstance(metric, Counter) else "gauge"
+                out[name] = {"type": kind, "value": metric.value}
+        return out
+
+    def rows(self) -> List[MetricRow]:
+        """Scalar table rows (histograms reduce to their count and mean)."""
+        rows: List[MetricRow] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                rows.append(MetricRow(f"{name}.count", "histogram",
+                                      float(metric.count)))
+                if metric.count:
+                    rows.append(MetricRow(f"{name}.mean", "histogram",
+                                          metric.mean))
+            else:
+                kind = "counter" if isinstance(metric, Counter) else "gauge"
+                rows.append(MetricRow(name, kind, metric.value))
+        return rows
+
+    def merge_rows(self) -> List[List[object]]:
+        """``[name, kind, value]`` rows for :func:`repro.common.tables`."""
+        return [[r.name, r.kind, round(r.value, 4)] for r in self.rows()]

@@ -1,0 +1,443 @@
+"""Per-invocation span tracer: typed stages with exact start/end times.
+
+The paper's §V analysis is built on latency *breakdowns* — scheduling vs.
+cold start vs. queueing vs. execution (Figs. 11/12).  The tracer records
+each invocation's journey as a contiguous sequence of typed spans:
+
+``QUEUED → COLD_START → DISPATCHED → EXECUTING → RESPONDING``
+
+* ``QUEUED``      arrival → scheduling complete (window wait + the
+                  platform's dispatch/launch decision work; the paper's
+                  *scheduling latency*, cold start already subtracted);
+* ``COLD_START``  container provisioning attributed to this invocation
+                  (zero-length on a warm hit);
+* ``DISPATCHED``  handed to the container → execution slot granted (the
+                  paper's *queuing latency*, Kraken's serial-queue penalty);
+* ``EXECUTING``   handler running → completion (*execution latency*);
+* ``RESPONDING``  completion → response returned to the caller (the group
+                  barrier of §III-C; zero-length under early return).
+
+Invariants (checked by :meth:`InvocationTimeline.validate`): spans are
+monotone and gap-free, the first four stages sum to the invocation's
+end-to-end latency and all five to its response latency, within 1e-6 ms.
+
+The tracer also records **container events** (cold-start begin/end, batch
+start, release, expiry, stale eviction) so a per-container timeline can be
+reconstructed with :meth:`InvocationTracer.container_timeline`.
+
+Tracing is purely observational: recording never creates simulation events,
+so a run with tracing enabled is byte-identical to one without.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+#: Tolerance for the sum/contiguity invariants, in milliseconds.
+TIME_TOLERANCE_MS = 1e-6
+
+
+class Stage(enum.Enum):
+    """Typed stages of one invocation, in canonical order."""
+
+    QUEUED = "queued"
+    COLD_START = "cold-start"
+    DISPATCHED = "dispatched"
+    EXECUTING = "executing"
+    RESPONDING = "responding"
+
+
+#: Canonical stage order; timelines must follow it without gaps.
+STAGE_ORDER: Tuple[Stage, ...] = (
+    Stage.QUEUED, Stage.COLD_START, Stage.DISPATCHED,
+    Stage.EXECUTING, Stage.RESPONDING,
+)
+
+#: Stage → the paper's §IV latency component (RESPONDING is the group
+#: barrier on top of the paper's four-way split).
+STAGE_TO_COMPONENT: Dict[Stage, str] = {
+    Stage.QUEUED: "scheduling",
+    Stage.COLD_START: "cold_start",
+    Stage.DISPATCHED: "queuing",
+    Stage.EXECUTING: "execution",
+    Stage.RESPONDING: "response_wait",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One typed stage of one invocation, ``[start_ms, end_ms]``."""
+
+    invocation_id: str
+    stage: Stage
+    start_ms: float
+    end_ms: float
+    container_id: Optional[str] = None
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "type": "span",
+            "invocation_id": self.invocation_id,
+            "stage": self.stage.value,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+        }
+        if self.container_id is not None:
+            out["container_id"] = self.container_id
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass(frozen=True)
+class ContainerEvent:
+    """One point event in a container's life (start, batch, release, ...)."""
+
+    container_id: str
+    kind: str
+    time_ms: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "type": "container-event",
+            "container_id": self.container_id,
+            "kind": self.kind,
+            "time_ms": self.time_ms,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass(frozen=True)
+class InvocationTimeline:
+    """The complete, ordered span sequence of one invocation."""
+
+    invocation_id: str
+    function_id: str
+    arrival_ms: float
+    spans: Tuple[Span, ...]
+    failed: bool = False
+
+    def duration_of(self, stage: Stage) -> float:
+        return sum(s.duration_ms for s in self.spans if s.stage is stage)
+
+    @property
+    def responded_ms(self) -> float:
+        return self.spans[-1].end_ms
+
+    @property
+    def completed_ms(self) -> float:
+        """End of the EXECUTING span (start of the response wait)."""
+        for span in reversed(self.spans):
+            if span.stage is Stage.EXECUTING:
+                return span.end_ms
+        raise SimulationError(
+            f"{self.invocation_id} has no EXECUTING span")
+
+    @property
+    def end_to_end_ms(self) -> float:
+        """Arrival → completion (the paper's invocation latency)."""
+        return self.completed_ms - self.arrival_ms
+
+    @property
+    def response_latency_ms(self) -> float:
+        """Arrival → response (what the caller experiences)."""
+        return self.responded_ms - self.arrival_ms
+
+    @property
+    def container_id(self) -> Optional[str]:
+        for span in self.spans:
+            if span.container_id is not None:
+                return span.container_id
+        return None
+
+    def validate(self, tolerance_ms: float = TIME_TOLERANCE_MS) -> List[str]:
+        """Return human-readable invariant violations (empty = valid)."""
+        problems: List[str] = []
+        if tuple(s.stage for s in self.spans) != STAGE_ORDER:
+            problems.append(
+                f"{self.invocation_id}: stages "
+                f"{[s.stage.value for s in self.spans]} != canonical order")
+            return problems
+        if abs(self.spans[0].start_ms - self.arrival_ms) > tolerance_ms:
+            problems.append(
+                f"{self.invocation_id}: first span starts at "
+                f"{self.spans[0].start_ms}, arrival was {self.arrival_ms}")
+        for span in self.spans:
+            if span.end_ms + tolerance_ms < span.start_ms:
+                problems.append(
+                    f"{self.invocation_id}: {span.stage.value} ends "
+                    f"({span.end_ms}) before it starts ({span.start_ms})")
+        for previous, current in zip(self.spans, self.spans[1:]):
+            if abs(current.start_ms - previous.end_ms) > tolerance_ms:
+                problems.append(
+                    f"{self.invocation_id}: gap between "
+                    f"{previous.stage.value} (ends {previous.end_ms}) and "
+                    f"{current.stage.value} (starts {current.start_ms})")
+        component_sum = sum(self.duration_of(stage)
+                            for stage in STAGE_ORDER[:-1])
+        if abs(component_sum - self.end_to_end_ms) > tolerance_ms:
+            problems.append(
+                f"{self.invocation_id}: stage durations sum to "
+                f"{component_sum}, end-to-end latency is "
+                f"{self.end_to_end_ms}")
+        full_sum = component_sum + self.duration_of(Stage.RESPONDING)
+        if abs(full_sum - self.response_latency_ms) > tolerance_ms:
+            problems.append(
+                f"{self.invocation_id}: all stages sum to {full_sum}, "
+                f"response latency is {self.response_latency_ms}")
+        return problems
+
+
+class _OpenTrace:
+    """Mutable per-invocation state while the invocation is in flight."""
+
+    __slots__ = ("function_id", "arrival_ms", "spans", "dispatched_ms",
+                 "execution_start_ms", "completed_ms", "container_id",
+                 "failed")
+
+    def __init__(self, function_id: str, arrival_ms: float) -> None:
+        self.function_id = function_id
+        self.arrival_ms = arrival_ms
+        self.spans: List[Span] = []
+        self.dispatched_ms: Optional[float] = None
+        self.execution_start_ms: Optional[float] = None
+        self.completed_ms: Optional[float] = None
+        self.container_id: Optional[str] = None
+        self.failed = False
+
+
+class InvocationTracer:
+    """Records typed stage transitions for every traced invocation.
+
+    Disabled by default: every recording method returns immediately, so the
+    platform can call into the tracer unconditionally.  Recording is pure
+    observation — it never touches the simulation environment.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._open: Dict[str, _OpenTrace] = {}
+        self._timelines: Dict[str, InvocationTimeline] = {}
+        self._order: List[str] = []  # completion order, deterministic
+        self.container_events: List[ContainerEvent] = []
+
+    def enable(self) -> "InvocationTracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "InvocationTracer":
+        self.enabled = False
+        return self
+
+    # -- recording (called by platform / container / pool) ----------------------
+
+    def invocation_arrived(self, invocation_id: str, function_id: str,
+                           time_ms: float) -> None:
+        """The request hit the platform; opens the QUEUED stage."""
+        if not self.enabled:
+            return
+        if invocation_id in self._open or invocation_id in self._timelines:
+            raise SimulationError(
+                f"{invocation_id} arrived twice in the tracer")
+        self._open[invocation_id] = _OpenTrace(function_id, time_ms)
+
+    def invocation_dispatched(self, invocation_id: str, time_ms: float,
+                              cold_start_ms: float,
+                              container_id: str) -> None:
+        """Handed to its container; splits QUEUED/COLD_START retroactively.
+
+        The platform stamps dispatch *after* any cold start completes (§IV
+        subtracts cold start from scheduling latency), so the boundary
+        between the two spans is ``time_ms - cold_start_ms``.
+        """
+        if not self.enabled:
+            return
+        trace = self._open.get(invocation_id)
+        if trace is None or trace.dispatched_ms is not None:
+            return
+        scheduling_end = time_ms - cold_start_ms
+        trace.spans.append(Span(invocation_id, Stage.QUEUED,
+                                trace.arrival_ms, scheduling_end))
+        trace.spans.append(Span(invocation_id, Stage.COLD_START,
+                                scheduling_end, time_ms,
+                                container_id=container_id))
+        trace.dispatched_ms = time_ms
+        trace.container_id = container_id
+
+    def execution_started(self, invocation_id: str, time_ms: float,
+                          container_id: str) -> None:
+        """The container granted an execution slot; closes DISPATCHED."""
+        if not self.enabled:
+            return
+        trace = self._open.get(invocation_id)
+        if trace is None or trace.dispatched_ms is None:
+            return
+        trace.spans.append(Span(invocation_id, Stage.DISPATCHED,
+                                trace.dispatched_ms, time_ms,
+                                container_id=container_id))
+        trace.execution_start_ms = time_ms
+        trace.container_id = container_id
+
+    def execution_completed(self, invocation_id: str, time_ms: float) -> None:
+        self._close_execution(invocation_id, time_ms, error=None)
+
+    def execution_failed(self, invocation_id: str, time_ms: float,
+                         error: BaseException) -> None:
+        self._close_execution(invocation_id, time_ms, error=error)
+
+    def _close_execution(self, invocation_id: str, time_ms: float,
+                         error: Optional[BaseException]) -> None:
+        if not self.enabled:
+            return
+        trace = self._open.get(invocation_id)
+        if trace is None or trace.execution_start_ms is None:
+            return
+        attrs = {} if error is None else {"error": type(error).__name__}
+        trace.spans.append(Span(invocation_id, Stage.EXECUTING,
+                                trace.execution_start_ms, time_ms,
+                                container_id=trace.container_id,
+                                attrs=attrs))
+        trace.completed_ms = time_ms
+        trace.failed = error is not None
+
+    def invocation_responded(self, invocation_id: str,
+                             time_ms: float) -> None:
+        """The caller got its response; closes RESPONDING and the timeline."""
+        if not self.enabled:
+            return
+        trace = self._open.pop(invocation_id, None)
+        if trace is None or trace.completed_ms is None:
+            return
+        trace.spans.append(Span(invocation_id, Stage.RESPONDING,
+                                trace.completed_ms, time_ms,
+                                container_id=trace.container_id))
+        timeline = InvocationTimeline(
+            invocation_id=invocation_id,
+            function_id=trace.function_id,
+            arrival_ms=trace.arrival_ms,
+            spans=tuple(trace.spans),
+            failed=trace.failed)
+        self._timelines[invocation_id] = timeline
+        self._order.append(invocation_id)
+
+    def container_event(self, container_id: str, kind: str, time_ms: float,
+                        **attrs: object) -> None:
+        if not self.enabled:
+            return
+        self.container_events.append(
+            ContainerEvent(container_id, kind, time_ms, attrs))
+
+    # -- reconstruction ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._timelines)
+
+    @property
+    def open_count(self) -> int:
+        """Invocations arrived but not yet responded (0 after a clean run)."""
+        return len(self._open)
+
+    def timeline(self, invocation_id: str) -> InvocationTimeline:
+        timeline = self._timelines.get(invocation_id)
+        if timeline is None:
+            raise KeyError(f"no completed timeline for {invocation_id!r}")
+        return timeline
+
+    def timelines(self) -> List[InvocationTimeline]:
+        """All completed timelines, in completion order (deterministic)."""
+        return [self._timelines[i] for i in self._order]
+
+    def spans(self) -> List[Span]:
+        return [span for timeline in self.timelines()
+                for span in timeline.spans]
+
+    def container_timeline(self, container_id: str
+                           ) -> List[Tuple[float, str, object]]:
+        """Merged ``(time_ms, kind, payload)`` view of one container's life.
+
+        Interleaves the container's point events with the execution spans it
+        served, ordered by time (events before spans at equal times, then
+        insertion order — deterministic).
+        """
+        entries: List[Tuple[float, int, int, str, object]] = []
+        for index, event in enumerate(self.container_events):
+            if event.container_id == container_id:
+                entries.append((event.time_ms, 0, index, event.kind, event))
+        for index, span in enumerate(self.spans()):
+            if span.container_id == container_id \
+                    and span.stage is Stage.EXECUTING:
+                entries.append((span.start_ms, 1, index,
+                                f"span:{span.stage.value}", span))
+        entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        return [(time_ms, kind, payload)
+                for time_ms, _group, _index, kind, payload in entries]
+
+    def validate_all(self,
+                     tolerance_ms: float = TIME_TOLERANCE_MS) -> List[str]:
+        """Invariant violations across every completed, successful timeline."""
+        problems: List[str] = []
+        for timeline in self.timelines():
+            if timeline.failed:
+                continue
+            problems.extend(timeline.validate(tolerance_ms))
+        return problems
+
+    # -- export ------------------------------------------------------------------
+
+    def to_jsonl(self, path, extra: Optional[Mapping[str, object]] = None
+                 ) -> int:
+        """Write spans + container events as JSON Lines; returns line count."""
+        written = 0
+        with open(path, "w") as handle:
+            written += write_jsonl(handle, self, extra=extra)
+        return written
+
+
+def write_jsonl(handle, tracer: InvocationTracer,
+                extra: Optional[Mapping[str, object]] = None) -> int:
+    """Append *tracer*'s records to an open file handle (one JSON per line)."""
+    decoration = dict(extra) if extra else {}
+    written = 0
+    for timeline in tracer.timelines():
+        for span in timeline.spans:
+            record = span.to_dict()
+            record["function_id"] = timeline.function_id
+            record.update(decoration)
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    for event in tracer.container_events:
+        record = event.to_dict()
+        record.update(decoration)
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Load every record written by :func:`write_jsonl` (blank lines skipped)."""
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def span_records(records: Iterable[Mapping[str, object]]
+                 ) -> List[Mapping[str, object]]:
+    """Filter a JSONL record stream down to the span records."""
+    return [r for r in records if r.get("type") == "span"]

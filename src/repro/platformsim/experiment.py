@@ -14,6 +14,7 @@ from repro.common.errors import SimulationError
 from repro.common.units import HOUR
 from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.model.function import FunctionSpec
+from repro.obs import Observability
 from repro.platformsim.gateway import start_replay
 from repro.platformsim.platform import ServerlessPlatform
 from repro.platformsim.results import ExperimentResult
@@ -32,7 +33,8 @@ def run_experiment(scheduler: "Scheduler",
                    workload_label: str = "workload",
                    window_ms: Optional[float] = None,
                    timeout_ms: Optional[float] = None,
-                   strict_memory: bool = True) -> ExperimentResult:
+                   strict_memory: bool = True,
+                   obs: Optional[Observability] = None) -> ExperimentResult:
     """Run *scheduler* over *trace* and return the measured result.
 
     ``window_ms`` is only a label (the scheduler object already carries its
@@ -40,7 +42,10 @@ def run_experiment(scheduler: "Scheduler",
     ``timeout_ms`` bounds simulated (not wall-clock) time: exceeding it
     raises :class:`SimulationError`, which in practice means a scheduling
     deadlock or a pathological configuration.  By default it is the trace's
-    last absolute arrival plus two hours of drain time.
+    last absolute arrival plus two hours of drain time.  ``obs`` supplies
+    the run's observability bundle (pass ``Observability(tracing=True)``
+    to record per-invocation span timelines); tracing and metrics are pure
+    observers, so results are identical with or without them.
     """
     if timeout_ms is None:
         timeout_ms = trace.end_ms + 2.0 * HOUR
@@ -49,7 +54,7 @@ def run_experiment(scheduler: "Scheduler",
     machine = Machine(env, cores=calibration.worker_cores,
                       memory_gb=calibration.worker_memory_gb,
                       cpu=cpu, strict_memory=strict_memory)
-    platform = ServerlessPlatform(env, machine, calibration)
+    platform = ServerlessPlatform(env, machine, calibration, obs=obs)
     for spec in functions:
         platform.register_function(spec)
 
@@ -80,7 +85,9 @@ def run_experiment(scheduler: "Scheduler",
         clients_created=platform.clients_created(),
         multiplexer_entries=multiplexer_entries,
         samples=machine.samples(),
-        completion_ms=env.now)
+        completion_ms=env.now,
+        trace=platform.obs.tracer,
+        metrics=platform.obs.metrics)
 
 
 def run_comparison(schedulers: Sequence["Scheduler"],

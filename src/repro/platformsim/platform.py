@@ -24,6 +24,7 @@ from repro.common.errors import (
 from repro.common.ids import IdFactory
 from repro.core.multiplexer import SimResourceMultiplexer
 from repro.common.eventlog import EventKind, EventLog
+from repro.obs import DEFAULT_SIZE_EDGES, Observability
 from repro.model.calibration import Calibration
 from repro.model.container import SimContainer
 from repro.model.docker import SimDockerClient
@@ -46,15 +47,21 @@ class ServerlessPlatform:
     def __init__(self, env: Environment, machine: Machine,
                  calibration: Calibration,
                  ids: Optional[IdFactory] = None,
-                 event_log: Optional[EventLog] = None) -> None:
+                 event_log: Optional[EventLog] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.env = env
         #: Structured decision log (disabled by default; ``.enable()`` it).
         self.event_log = event_log if event_log is not None else EventLog()
+        #: Observability bundle: span tracer (off by default) + metrics.
+        self.obs = obs if obs is not None else Observability()
+        self.obs.bind(env)
         self.machine = machine
         self.calibration = calibration
         self.ids = ids if ids is not None else IdFactory()
-        self.docker = SimDockerClient(env, machine, calibration, ids=self.ids)
-        self.pool = ContainerPool(env, keep_alive_ms=calibration.keep_alive_ms)
+        self.docker = SimDockerClient(env, machine, calibration, ids=self.ids,
+                                      obs=self.obs)
+        self.pool = ContainerPool(env, keep_alive_ms=calibration.keep_alive_ms,
+                                  metrics=self.obs.metrics)
         self.request_queue: Store[Invocation] = Store(env)
         self.functions: Dict[str, FunctionSpec] = {}
         self.completed: List[Invocation] = []
@@ -66,10 +73,13 @@ class ServerlessPlatform:
         # group capped at a single core's worth of execution.
         self.machine.cpu.create_group(self.PLATFORM_GROUP, cap=1.0)
         self._gil = Resource(env, capacity=1)
-        self.pool.set_expiry_callback(
-            lambda container: self.event_log.record(
-                self.env.now, EventKind.CONTAINER_EXPIRED,
-                container_id=container.container_id))
+        self.pool.set_expiry_callback(self._on_container_expired)
+
+    def _on_container_expired(self, container: SimContainer) -> None:
+        self.event_log.record(self.env.now, EventKind.CONTAINER_EXPIRED,
+                              container_id=container.container_id)
+        self.obs.tracer.container_event(container.container_id, "expired",
+                                        self.env.now)
 
     # -- registration / arrival ----------------------------------------------------
 
@@ -100,6 +110,9 @@ class ServerlessPlatform:
         self.event_log.record(self.env.now, EventKind.REQUEST_ARRIVED,
                               invocation_id=invocation.invocation_id,
                               function_id=record.function_id)
+        self.obs.tracer.invocation_arrived(
+            invocation.invocation_id, record.function_id, self.env.now)
+        self.obs.metrics.counter("platform.requests").inc()
         return invocation
 
     # -- scheduler primitives ---------------------------------------------------------
@@ -118,11 +131,16 @@ class ServerlessPlatform:
                 * invocation_count)
         self.event_log.record(self.env.now, EventKind.DISPATCH_DECISION,
                               invocation_count=invocation_count)
+        self.obs.metrics.counter("platform.dispatch_decisions").inc()
+        self.obs.metrics.histogram(
+            "platform.dispatch_batch_size",
+            edges=DEFAULT_SIZE_EDGES).observe(invocation_count)
         return self._platform_work(work, label="dispatch")
 
     def launch_work(self) -> Event:
         """Platform CPU work of one container-launch decision (docker API)."""
         self.event_log.record(self.env.now, EventKind.LAUNCH_DECISION)
+        self.obs.metrics.counter("platform.launch_decisions").inc()
         return self._platform_work(
             self.calibration.scheduling_cpu_work_per_launch_ms,
             label="launch")
@@ -168,11 +186,19 @@ class ServerlessPlatform:
         self.event_log.record(self.env.now, EventKind.COLD_START_BEGAN,
                               container_id=handle.id,
                               function_id=function.function_id)
+        self.obs.tracer.container_event(handle.id, "cold-start-began",
+                                        self.env.now,
+                                        function_id=function.function_id)
         cold_start_ms = yield handle.started
         self.pool.register_started(handle.sim)
         self.event_log.record(self.env.now, EventKind.COLD_START_ENDED,
                               container_id=handle.id,
                               cold_start_ms=float(cold_start_ms))
+        self.obs.tracer.container_event(handle.id, "cold-start-ended",
+                                        self.env.now,
+                                        cold_start_ms=float(cold_start_ms))
+        self.obs.metrics.histogram("platform.cold_start_ms").observe(
+            float(cold_start_ms))
         return handle.sim, float(cold_start_ms)
 
     def acquire_container(self, function: FunctionSpec,
@@ -195,16 +221,28 @@ class ServerlessPlatform:
         self.pool.release(container)
         self.event_log.record(self.env.now, EventKind.CONTAINER_RELEASED,
                               container_id=container.container_id)
+        self.obs.tracer.container_event(container.container_id, "released",
+                                        self.env.now)
 
     # -- completion -----------------------------------------------------------------
 
     def note_completed(self, invocation: Invocation) -> None:
         self.completed.append(invocation)
-        kind = (EventKind.INVOCATION_FAILED if invocation.error is not None
+        failed = invocation.error is not None
+        kind = (EventKind.INVOCATION_FAILED if failed
                 else EventKind.INVOCATION_COMPLETED)
         self.event_log.record(self.env.now, kind,
                               invocation_id=invocation.invocation_id,
                               container_id=invocation.container_id)
+        responded = (invocation.responded_ms
+                     if invocation.responded_ms is not None else self.env.now)
+        self.obs.tracer.invocation_responded(invocation.invocation_id,
+                                             responded)
+        self.obs.metrics.counter(
+            "platform.failed" if failed else "platform.completed").inc()
+        if not failed and invocation.completed_ms is not None:
+            self.obs.metrics.histogram("platform.e2e_latency_ms").observe(
+                invocation.end_to_end_ms)
         for listener in self.completion_listeners:
             listener(invocation)
         if (self.expected_invocations is not None

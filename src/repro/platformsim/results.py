@@ -17,6 +17,8 @@ from repro.common.cdf import EmpiricalCdf
 from repro.common.stats import SampleStats
 from repro.model.calibration import Calibration
 from repro.model.function import Invocation, InvocationState
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import InvocationTracer
 from repro.sim.machine import ResourceSample
 
 
@@ -34,6 +36,11 @@ class ExperimentResult:
     multiplexer_entries: int
     samples: List[ResourceSample]
     completion_ms: float
+    #: Observability artefacts of the run.  ``trace`` holds completed span
+    #: timelines when tracing was enabled (else an empty, disabled tracer);
+    #: ``metrics`` is the platform's registry snapshot source.
+    trace: Optional[InvocationTracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     # -- success / failure -----------------------------------------------------
 
@@ -137,6 +144,10 @@ class ExperimentResult:
         return len(self.invocations) / self.provisioned_containers
 
     # -- export ----------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Deterministic dump of the run's metrics registry (may be empty)."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
 
     def to_dict(self) -> dict:
         """A JSON-serialisable archive of the run (per-invocation rows).

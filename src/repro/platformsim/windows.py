@@ -24,9 +24,22 @@ def collect_window(env: Environment, queue: Store[T], window_ms: float):
     ``window_ms`` has elapsed *since the first arrival*.  Returns the list
     of items (at least one).  Use as ``batch = yield from collect_window(...)``.
     """
+    batch, _opened = yield from collect_window_timed(env, queue, window_ms)
+    return batch
+
+
+def collect_window_timed(env: Environment, queue: Store[T],
+                         window_ms: float):
+    """Like :func:`collect_window` but returns ``(batch, window_open_ms)``.
+
+    ``window_open_ms`` is the simulated time the *first item* was taken —
+    the true start of the dispatch window.  The wait for that first arrival
+    (arbitrarily long on sparse workloads) is *not* part of the window.
+    """
     if window_ms < 0:
         raise ValueError(f"negative window: {window_ms}")
     first: T = yield queue.get()
+    window_open = env.now
     batch: List[T] = [first]
     window_end = env.now + window_ms
     while env.now < window_end:
@@ -44,4 +57,4 @@ def collect_window(env: Environment, queue: Store[T], window_ms: float):
         else:
             queue.cancel_get(get_event)
         break
-    return batch
+    return batch, window_open

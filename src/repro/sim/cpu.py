@@ -27,7 +27,7 @@ The model is work-conserving: as long as total demand >= capacity, exactly
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.units import TIME_EPSILON
@@ -67,7 +67,10 @@ class CpuGroup:
             raise ValueError(f"group cap must be > 0, got {cap}")
         self.name = name
         self.cap = cap  # None = unbounded (host group)
-        self.tasks: Set[CpuTask] = set()
+        # Insertion-ordered on purpose: CpuTask hashes by identity, so a
+        # set's iteration order would vary run-to-run and leak into float
+        # accumulation and same-instant completion order (nondeterminism).
+        self.tasks: Dict[CpuTask, None] = {}
 
     @property
     def demand(self) -> float:
@@ -131,7 +134,7 @@ class FairShareCpu:
         self.cores = float(cores)
         self._groups: Dict[str, CpuGroup] = {
             self.HOST_GROUP: CpuGroup(self.HOST_GROUP, cap=None)}
-        self._tasks: Set[CpuTask] = set()
+        self._tasks: Dict[CpuTask, None] = {}
         self._last_update = env.now
         self._busy_core_ms = 0.0
         self._wake_version = 0
@@ -189,8 +192,8 @@ class FairShareCpu:
                        group=self.group(group), done=done,
                        started_at=self.env.now,
                        label=label or f"task-{self._task_sequence}")
-        task.group.tasks.add(task)
-        self._tasks.add(task)
+        task.group.tasks[task] = None
+        self._tasks[task] = None
         self._reallocate_and_arm()
         return done
 
@@ -244,8 +247,8 @@ class FairShareCpu:
                     if t.remaining <= TIME_EPSILON
                     or (t.rate > 0.0 and t.remaining / t.rate <= resolution)]
         for task in finished:
-            self._tasks.discard(task)
-            task.group.tasks.discard(task)
+            self._tasks.pop(task, None)
+            task.group.tasks.pop(task, None)
             task.rate = 0.0
             task.remaining = 0.0
             task.finished_at = self.env.now

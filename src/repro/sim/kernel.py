@@ -328,11 +328,36 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self.active_process: Optional[Process] = None
+        #: Observers of monotonic time advancement, ``hook(old_ms, new_ms)``.
+        self._time_hooks: List[Callable[[float, float], None]] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
+
+    # -- time observation -------------------------------------------------------
+
+    def add_time_hook(self, hook: Callable[[float, float], None]) -> None:
+        """Register ``hook(old_ms, new_ms)``, called whenever time advances.
+
+        Hooks are pure observers (metrics gauges, trace clocks): they run
+        after the clock moves and before the events at the new time are
+        processed, and must not schedule or trigger events.
+        """
+        self._time_hooks.append(hook)
+
+    def remove_time_hook(self, hook: Callable[[float, float], None]) -> None:
+        self._time_hooks.remove(hook)
+
+    def _advance(self, to: float) -> None:
+        """Move the clock monotonically to *to*, notifying time hooks."""
+        if to <= self._now:
+            return
+        old = self._now
+        self._now = to
+        for hook in self._time_hooks:
+            hook(old, to)
 
     # -- factories ------------------------------------------------------------
 
@@ -374,7 +399,7 @@ class Environment:
         when, _priority, _seq, event = heapq.heappop(self._queue)
         if when < self._now - 1e-9:
             raise SimulationError("event scheduled in the past")
-        self._now = max(self._now, when)
+        self._advance(when)
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         assert callbacks is not None
@@ -391,11 +416,11 @@ class Environment:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         while self._queue:
             if until is not None and self.peek() > until:
-                self._now = until
+                self._advance(until)
                 return
             self.step()
         if until is not None:
-            self._now = until
+            self._advance(until)
 
     def run_process(self, process: Process,
                     until: Optional[float] = None) -> Any:

@@ -32,7 +32,7 @@ import csv
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import WorkloadError
 from repro.common.units import MINUTE

@@ -18,7 +18,6 @@ from repro.common.errors import ConfigurationError
 from repro.core import FaaSBatchScheduler
 from repro.model.calibration import DEFAULT_CALIBRATION
 from repro.platformsim.platform import ServerlessPlatform
-from repro.sim.kernel import Environment
 from repro.sim.machine import Machine
 from repro.workload.generator import (
     fib_family_specs,

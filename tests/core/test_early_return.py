@@ -114,6 +114,72 @@ class TestEarlyReturnSemantics:
         assert "early-return" in scheduler.describe()
 
 
+class TestEarlyReturnBookkeeping:
+    def run_with_listener(self):
+        """Run the mixed burst with early return, counting note_completed."""
+        from repro.model.calibration import DEFAULT_CALIBRATION
+        from repro.platformsim.gateway import start_replay
+        from repro.platformsim.platform import ServerlessPlatform
+        from repro.sim.kernel import Environment
+        from repro.sim.machine import Machine
+
+        trace = mixed_duration_trace()
+        env = Environment()
+        machine = Machine(env)
+        platform = ServerlessPlatform(env, machine, DEFAULT_CALIBRATION)
+        platform.register_function(mixed_spec())
+        completions: dict = {}
+        platform.completion_listeners.append(
+            lambda inv: completions.update(
+                {inv.invocation_id: completions.get(inv.invocation_id, 0) + 1}))
+        done = platform.expect_invocations(len(trace))
+        FaaSBatchScheduler(
+            FaaSBatchConfig(early_return=True)).start(platform)
+        start_replay(platform, trace)
+
+        def waiter():
+            yield done
+
+        env.run_process(env.process(waiter()))
+        return platform, completions, len(trace)
+
+    def test_note_completed_fires_exactly_once_per_invocation(self):
+        platform, completions, total = self.run_with_listener()
+        assert len(completions) == total
+        assert all(count == 1 for count in completions.values())
+        assert len(platform.completed) == total
+
+    def test_response_times_differ_from_batch_completion(self):
+        platform, _completions, _total = self.run_with_listener()
+        batch_end = max(inv.completed_ms for inv in platform.completed)
+        shorts = [inv for inv in platform.completed if inv.payload == 10.0]
+        # Under early return each member responds at its own completion,
+        # not at the group barrier: the shorts' response instants precede
+        # the straggler-dominated batch completion.
+        assert all(inv.responded_ms < batch_end for inv in shorts)
+        assert all(inv.responded_ms == pytest.approx(inv.completed_ms)
+                   for inv in platform.completed)
+
+
+class TestWarmReuseKeepsMultiplexerCaches:
+    def test_second_burst_reuses_container_and_cached_clients(self):
+        # Fig. 8 (λ_A3): a warm-container hit must keep the resource
+        # multiplexer's client cache, so a later burst creates no new
+        # clients.  Two bursts, 5 s apart, well inside the 60 s keep-alive.
+        from repro.workload.generator import io_function_spec
+
+        spec = io_function_spec()
+        records = [TraceRecord(arrival_ms=float(i), function_id=spec.function_id,
+                               payload=i) for i in range(4)]
+        records += [TraceRecord(arrival_ms=5_000.0 + i,
+                                function_id=spec.function_id, payload=10 + i)
+                    for i in range(4)]
+        result = run_experiment(FaaSBatchScheduler(), Trace(records), [spec])
+        assert result.provisioned_containers == 1
+        assert result.clients_created == 1       # one S3 client, ever
+        assert result.multiplexer_entries == 1   # one cache miss, burst 1
+
+
 class TestBaselineResponseSemantics:
     def test_vanilla_response_equals_completion(self):
         from repro.baselines import VanillaScheduler

@@ -105,6 +105,19 @@ class TestWindowCollection:
         assert groups[0].size == 2
         assert groups[0].window_end_ms == pytest.approx(500.0)
 
+    def test_window_start_stamped_at_first_arrival_not_collector_start(
+            self, env):
+        # Regression: the mapper used to stamp window_start before blocking
+        # on the queue, so a late first arrival produced a group claiming
+        # its window opened when the collector *started waiting* (t=0 here)
+        # rather than when the burst actually began.
+        arrivals = [(5_000.0, make_invocation(SPEC_A, 0)),
+                    (5_050.0, make_invocation(SPEC_A, 1))]
+        _mapper, collected = self.run_mapper(env, 200.0, arrivals)
+        _end, groups = collected[0]
+        assert groups[0].window_start_ms == pytest.approx(5_000.0)
+        assert groups[0].window_end_ms == pytest.approx(5_200.0)
+
     def test_late_arrival_left_for_next_window(self, env):
         arrivals = [(0.0, make_invocation(SPEC_A, 0)),
                     (250.0, make_invocation(SPEC_A, 1))]

@@ -10,7 +10,6 @@ from repro.model.calibration import DEFAULT_CALIBRATION
 from repro.model.function import FunctionKind, FunctionSpec, Invocation
 from repro.model.workprofile import cpu_profile
 from repro.platformsim.platform import ServerlessPlatform
-from repro.sim.kernel import Environment
 from repro.sim.machine import Machine
 
 

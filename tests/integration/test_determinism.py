@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.baselines import VanillaScheduler
-from repro.core import FaaSBatchScheduler
+from repro.core import FaaSBatchConfig, FaaSBatchScheduler
 from repro.platformsim import run_experiment
 from repro.workload import cpu_workload_trace, fib_function_spec
 
@@ -37,6 +37,19 @@ class TestDeterminism:
         first = run_experiment(FaaSBatchScheduler(), trace, [spec])
         second = run_experiment(FaaSBatchScheduler(), trace, [spec])
         assert fingerprint(first) == fingerprint(second)
+
+    def test_early_return_completion_order_is_reproducible(self):
+        # Regression: the CPU model kept tasks in id-hashed sets, so
+        # same-instant completions (and hence the early-return response
+        # order) varied run-to-run within one process.
+        trace = cpu_workload_trace(total=60)
+        spec = fib_function_spec()
+        config = FaaSBatchConfig(early_return=True)
+        first = run_experiment(FaaSBatchScheduler(config), trace, [spec])
+        second = run_experiment(FaaSBatchScheduler(config), trace, [spec])
+        assert fingerprint(first) == fingerprint(second)
+        assert [i.responded_ms for i in first.invocations] == \
+            [i.responded_ms for i in second.invocations]
 
     def test_different_seeds_differ(self):
         spec = fib_function_spec()

@@ -68,6 +68,51 @@ class TestAcquireRelease:
             ContainerPool(env, keep_alive_ms=0.0)
 
 
+class TestStaleEviction:
+    def test_stopped_container_on_idle_list_is_evicted_and_counted(
+            self, env, machine):
+        # Regression: acquire() used to pop non-idle containers off the
+        # idle list and silently drop them — no accounting, and their
+        # pending expiry process could later double-stop them.
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        container = started_container(env, machine, make_spec())
+        pool.register_started(container)
+        pool.release(container)
+        container.stop()  # out-of-band stop while parked
+        assert pool.acquire("f") is None  # stale container is not handed out
+        assert pool.stale_evictions == 1
+        assert pool.cold_misses == 1
+        assert pool.warm_hits == 0
+        assert pool.metrics.counter("pool.stale_evictions").value == 1.0
+        env.run()  # the old expiry process must stand down, not double-stop
+        assert pool.expired_total == 0
+
+    def test_busy_container_on_idle_list_is_evicted_without_stop(
+            self, env, machine):
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        container = started_container(env, machine, make_spec())
+        pool.register_started(container)
+        pool.release(container)
+        container.active_invocations = 1  # re-activated out of band
+        assert pool.acquire("f") is None
+        assert pool.stale_evictions == 1
+        assert container.state.value != "stopped"  # active work untouched
+
+    def test_stale_then_fresh_container_still_served(self, env, machine):
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        stale = started_container(env, machine, make_spec(), "c-stale")
+        fresh = started_container(env, machine, make_spec(), "c-fresh")
+        for container in (stale, fresh):
+            pool.register_started(container)
+            pool.release(container)
+        fresh_first = pool.idle_containers()  # LIFO pop order: last released
+        assert fresh_first[-1] is fresh
+        fresh.active_invocations = 1  # the LIFO head goes stale
+        assert pool.acquire("f") is stale
+        assert pool.stale_evictions == 1
+        assert pool.warm_hits == 1
+
+
 class TestKeepAliveExpiry:
     def test_idle_container_expires(self, env, machine):
         pool = ContainerPool(env, keep_alive_ms=500.0)

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.baselines import VanillaScheduler
@@ -60,7 +64,26 @@ class TestEventLogUnit:
         log.record(1.5, EventKind.LAUNCH_DECISION, reason="cold")
         text = log.to_csv()
         assert "launch-decision" in text
-        assert "reason=cold" in text
+        assert json.loads(next(csv.reader(io.StringIO(text.splitlines()[1])))
+                          [2]) == {"reason": "cold"}
+
+    def test_to_csv_details_survive_hostile_characters(self):
+        # Regression: the old key=value;key=value join produced unparseable
+        # rows for detail values containing ';' or '='.
+        log = EventLog(enabled=True)
+        log.record(2.0, EventKind.DISPATCH_DECISION,
+                   label="a=b;c=d", note='quoted "text", with commas')
+        rows = list(csv.reader(io.StringIO(log.to_csv())))
+        assert rows[0] == ["time_ms", "kind", "details"]
+        details = json.loads(rows[1][2])
+        assert details == {"label": "a=b;c=d",
+                           "note": 'quoted "text", with commas'}
+
+    def test_to_csv_non_serialisable_detail_stringified(self):
+        log = EventLog(enabled=True)
+        log.record(3.0, EventKind.WARM_HIT, error=ValueError("boom"))
+        details = json.loads(list(csv.reader(io.StringIO(log.to_csv())))[1][2])
+        assert details == {"error": "boom"}
 
     def test_log_record_get_default(self):
         record = LogRecord(0.0, EventKind.WARM_HIT, {})

@@ -9,7 +9,6 @@ from repro.common.errors import (
     ProcessInterrupted,
     SimulationError,
 )
-from repro.sim.kernel import Environment
 
 
 class TestEventBasics:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.kernel import Environment
 from repro.sim.machine import CpuDiscipline, Machine, build_cpu
 from repro.sim.cpu import FairShareCpu
 from repro.sim.sfs_cpu import SfsCpu

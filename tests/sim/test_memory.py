@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import CapacityExceeded, SimulationError
-from repro.sim.kernel import Environment
 from repro.sim.memory import MemoryAccount
 
 

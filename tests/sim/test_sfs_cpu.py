@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.sim.kernel import Environment
 from repro.sim.sfs_cpu import SfsCpu
 
 

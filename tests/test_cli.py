@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -41,6 +43,61 @@ class TestTrace:
                      "--out", str(out_path)]) == 0
         trace = Trace.from_csv(out_path)
         assert len(trace) == 50
+
+    def test_trace_without_out_errors(self, capsys):
+        assert main(["trace", "--workload", "cpu"]) == 2
+        assert "--out is required" in capsys.readouterr().err
+
+
+class TestSpanTracing:
+    def test_compare_exports_spans_then_summarize(self, tmp_path, capsys):
+        spans_path = tmp_path / "spans.jsonl"
+        assert main(["compare", "--workload", "cpu", "--total", "40",
+                     "--trace", str(spans_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"span/event records to {spans_path}" in out
+
+        records = [json.loads(line)
+                   for line in spans_path.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        # 4 schedulers x 40 invocations x 5 stages each.
+        assert len(spans) == 4 * 40 * 5
+        assert {r["scheduler"] for r in records} == \
+            {"Vanilla", "SFS", "Kraken", "FaaSBatch"}
+
+        assert main(["trace", "summarize", str(spans_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Span summary" in out
+        for stage in ("queued", "cold-start", "dispatched", "executing",
+                      "responding"):
+            assert stage in out
+        assert "FaaSBatch: 40" in out
+
+    def test_sweep_exports_spans_per_window(self, tmp_path, capsys):
+        spans_path = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "--workload", "io", "--total", "40",
+                     "--windows", "50,200", "--trace", str(spans_path)]) == 0
+        records = [json.loads(line)
+                   for line in spans_path.read_text().splitlines()]
+        assert {r["scheduler"] for r in records} == \
+            {"FaaSBatch[50ms]", "FaaSBatch[200ms]"}
+
+    def test_summarize_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace", "summarize",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_summarize_malformed_json_errors(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json at all\n")
+        assert main(["trace", "summarize", str(garbage)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_summarize_no_spans_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text('{"type": "container-event"}\n')
+        assert main(["trace", "summarize", str(empty)]) == 2
+        assert "no span records" in capsys.readouterr().err
 
 
 class TestAzureCommands:
