@@ -1,0 +1,103 @@
+"""Chaos benchmark: the four §IV schedulers under one injected fault plan.
+
+Replays the reference fault plan (container crash, cold-start failures,
+a straggler, transient dispatch errors) against every scheduler with the
+same resilience policy, and asserts the recovery properties the chaos
+experiment is meant to demonstrate: full goodput via retries, bounded
+retry amplification, and FaaSBatch's tail-latency advantage surviving
+the faults.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis.breakdown import attempt_latency_table
+from repro.baselines import KrakenParameters
+from repro.faults.plan import reference_plan
+from repro.faults.resilience import ResiliencePolicy
+from repro.obs import Observability
+from repro.obs.trace import write_jsonl
+from repro.platformsim import run_experiment
+
+from conftest import SCHEDULER_ORDER, build_schedulers
+
+
+@pytest.fixture(scope="module")
+def chaos_results(io_trace, io_spec, vanilla_io):
+    """All four schedulers under the reference plan, with retries on."""
+    params = KrakenParameters.from_invocations(vanilla_io.invocations)
+    plan = reference_plan(seed=42)
+    policy = ResiliencePolicy(max_attempts=5, backoff_base_ms=50.0, seed=42)
+    results = {}
+    for scheduler in build_schedulers(params):
+        results[scheduler.name] = run_experiment(
+            scheduler, io_trace, [io_spec], workload_label="chaos-io",
+            obs=Observability(tracing=True),
+            fault_plan=plan, resilience=policy)
+    return results
+
+
+class TestChaosGoodput:
+    def test_all_schedulers_recover_fully(self, chaos_results):
+        for name in SCHEDULER_ORDER:
+            assert chaos_results[name].goodput() == 1.0, \
+                f"{name} lost invocations under the reference plan"
+
+    def test_faults_actually_fired(self, chaos_results):
+        # Guard against a vacuous pass: every run must have been perturbed.
+        for name in SCHEDULER_ORDER:
+            result = chaos_results[name]
+            assert result.retried_invocations(), \
+                f"{name} saw no retries -- plan did not bite"
+
+    def test_retry_amplification_is_bounded(self, chaos_results):
+        for name in SCHEDULER_ORDER:
+            amplification = chaos_results[name].retry_amplification()
+            assert 1.0 < amplification < 1.5, \
+                f"{name} amplification {amplification:.3f} out of range"
+
+
+class TestChaosTailLatency:
+    def test_faasbatch_beats_vanilla_p99_under_faults(self, chaos_results):
+        faasbatch = chaos_results["FaaSBatch"].total_response_stats()
+        vanilla = chaos_results["Vanilla"].total_response_stats()
+        assert faasbatch.percentile(99.0) < vanilla.percentile(99.0)
+
+
+class TestChaosObservability:
+    def test_fault_and_recovery_actions_are_traced(self, chaos_results):
+        for name in SCHEDULER_ORDER:
+            result = chaos_results[name]
+            kinds = {a.kind for a in result.trace.annotations}
+            assert any(k.startswith("fault-") for k in kinds), \
+                f"{name} trace has no fault annotations"
+            assert "retry-scheduled" in kinds, \
+                f"{name} trace has no retry annotations"
+
+    def test_fault_metrics_exported(self, chaos_results):
+        for name in SCHEDULER_ORDER:
+            snapshot = chaos_results[name].metrics_snapshot()
+            fired = sum(entry.get("value") or 0.0
+                        for key, entry in snapshot.items()
+                        if key.startswith("faults."))
+            assert fired >= 3, f"{name} reported too few faults: {fired}"
+            assert snapshot["resilience.retries"]["value"] >= 1
+
+    def test_trace_export_includes_fault_records(self, chaos_results):
+        result = chaos_results["FaaSBatch"]
+        buffer = io.StringIO()
+        assert write_jsonl(buffer, result.trace) > 0
+        text = buffer.getvalue()
+        assert "fault-" in text
+        assert "retry-scheduled" in text
+
+    def test_attempt_latency_table_renders(self, chaos_results):
+        headers, rows = attempt_latency_table(
+            [chaos_results[name] for name in SCHEDULER_ORDER])
+        assert len(rows) == len(SCHEDULER_ORDER)
+        assert all(len(row) == len(headers) for row in rows)
+        goodput_column = headers.index("goodput_%")
+        assert all(row[goodput_column] == 100.0 for row in rows)

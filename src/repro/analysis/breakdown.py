@@ -139,3 +139,46 @@ def dominant_component(result: ExperimentResult) -> str:
     """The component contributing the most mean latency."""
     summaries = summarize_components(result)
     return max(summaries, key=lambda s: s.mean_ms).component
+
+
+# -- resilience view (runs with retries enabled) --------------------------------
+
+
+def attempt_latency_table(results: Sequence[ExperimentResult]):
+    """``(headers, rows)`` contrasting first-attempt and final latencies.
+
+    Under retries an invocation has two stories: what its *first* attempt
+    cost (None-safe: a first attempt that died before dispatch has no
+    end-to-end latency) and what the caller ultimately experienced
+    (first-arrival to final response, backoffs included).  Both are
+    reported so retry policies can't silently overwrite the failure's
+    latency cost — the final column quantifies the retry tax.
+    """
+    headers = ["scheduler", "invocations", "goodput_%", "retried",
+               "attempts_per_inv", "hedged",
+               "first_attempt_p50_ms", "first_attempt_p99_ms",
+               "final_p50_ms", "final_p99_ms", "total_response_p99_ms"]
+    rows: List[List[object]] = []
+    for result in results:
+        first = SampleStats(
+            latency for latency in
+            (inv.first_attempt_end_to_end_ms
+             for inv in result.invocations)
+            if latency is not None)
+        final = SampleStats(inv.end_to_end_ms
+                            for inv in result.successful_invocations())
+        total = result.total_response_stats()
+        rows.append([
+            result.scheduler_name,
+            len(result.invocations),
+            round(result.goodput() * 100.0, 2),
+            len(result.retried_invocations()),
+            round(result.retry_amplification(), 3),
+            result.hedged_count(),
+            round(first.median, 1) if first.count else None,
+            round(first.percentile(99.0), 1) if first.count else None,
+            round(final.median, 1) if final.count else None,
+            round(final.percentile(99.0), 1) if final.count else None,
+            round(total.percentile(99.0), 1) if total.count else None,
+        ])
+    return headers, rows

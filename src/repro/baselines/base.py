@@ -50,14 +50,16 @@ class Scheduler(abc.ABC):
 
         Stamps dispatch (splitting scheduling vs. cold-start latency exactly
         as §IV prescribes), runs the batch, notes completions, and returns
-        the container to the keep-alive pool.
+        the container to the keep-alive pool.  Dispatch goes through
+        :meth:`ServerlessPlatform.begin_dispatch`, so injected dispatch
+        faults and resilience watchdogs apply uniformly to every policy.
         """
         now = platform.env.now
-        for invocation in invocations:
-            invocation.mark_dispatched(now, cold_start_ms)
-            platform.obs.tracer.invocation_dispatched(
-                invocation.invocation_id, now, cold_start_ms,
-                container.container_id)
+        invocations = platform.begin_dispatch(
+            container, invocations, cold_start_ms)
+        if not invocations:
+            platform.release_container(container)
+            return
         platform.event_log.record(now, EventKind.BATCH_STARTED,
                                   container_id=container.container_id,
                                   batch_size=len(invocations))

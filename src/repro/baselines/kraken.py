@@ -30,7 +30,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, TYPE_CHECKING
 
 from repro.baselines.base import CpuDiscipline, Scheduler
-from repro.common.errors import ConfigurationError, SchedulingError
+from repro.common.errors import (
+    ColdStartError,
+    ConfigurationError,
+    SchedulingError,
+)
 from repro.common.stats import Ewma, SampleStats
 from repro.model.function import Invocation
 from repro.obs.metrics import DEFAULT_SIZE_EDGES as SIZE_EDGES
@@ -176,8 +180,12 @@ class KrakenScheduler(Scheduler):
         cold_start_ms = 0.0
         if container is None:
             yield platform.launch_work()
-            container, cold_start_ms = yield from platform.cold_start(
-                function, concurrency_limit=1, with_multiplexer=False)
+            try:
+                container, cold_start_ms = yield from platform.cold_start(
+                    function, concurrency_limit=1, with_multiplexer=False)
+            except ColdStartError as error:
+                platform.fail_undispatched(sub_batch, error)
+                return
         yield from self.run_on_container(
             platform, container, sub_batch, cold_start_ms)
 
@@ -208,6 +216,9 @@ class KrakenScheduler(Scheduler):
     @staticmethod
     def _prewarm_one(platform: "ServerlessPlatform", function):
         yield platform.launch_work()
-        container, _cold = yield from platform.acquire_container(
-            function, concurrency_limit=1, with_multiplexer=False)
+        try:
+            container, _cold = yield from platform.acquire_container(
+                function, concurrency_limit=1, with_multiplexer=False)
+        except ColdStartError:
+            return  # speculative warm-up; nothing depends on it
         platform.release_container(container)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.baselines.base import CpuDiscipline, Scheduler
+from repro.common.errors import ColdStartError
 from repro.model.function import Invocation
 
 if TYPE_CHECKING:
@@ -58,8 +59,12 @@ class VanillaScheduler(Scheduler):
             # CPU work; the provisioning itself is dockerd + kernel work
             # contended with everything running on the host.
             yield platform.launch_work()
-            container, cold_start_ms = yield from platform.cold_start(
-                invocation.function, concurrency_limit=1,
-                with_multiplexer=False)
+            try:
+                container, cold_start_ms = yield from platform.cold_start(
+                    invocation.function, concurrency_limit=1,
+                    with_multiplexer=False)
+            except ColdStartError as error:
+                platform.fail_undispatched([invocation], error)
+                return
         yield from self.run_on_container(
             platform, container, [invocation], cold_start_ms)

@@ -4,6 +4,9 @@ Subcommands
 -----------
 ``compare``       run the four schedulers on a workload, print summary +
                   latency CDFs and reduction tables.
+``chaos``         replay a deterministic fault plan against the four
+                  schedulers with retries on; print goodput / retry
+                  amplification / tail-latency tables.
 ``sweep``         sweep FaaSBatch's dispatch interval (the §V-B5 study).
 ``trace``         generate a workload trace and write it to CSV;
                   ``trace summarize`` reduces an exported span trace
@@ -18,6 +21,7 @@ and export it as JSON Lines for ``trace summarize`` or external tooling.
 Examples::
 
     python -m repro compare --workload io --total 200 --trace spans.jsonl
+    python -m repro chaos --plan plan.json --trace chaos.jsonl
     python -m repro trace summarize spans.jsonl
     python -m repro sweep --workload io --windows 10,100,200,500
     python -m repro trace --workload cpu --total 800 --out replay.csv
@@ -33,7 +37,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import SchedulerComparison, latency_cdf_tables
-from repro.analysis.breakdown import check_trace_invariants
+from repro.analysis.breakdown import (
+    attempt_latency_table,
+    check_trace_invariants,
+)
 from repro.baselines import (
     KrakenConfig,
     KrakenParameters,
@@ -44,6 +51,7 @@ from repro.baselines import (
 from repro.common.stats import SampleStats
 from repro.common.tables import render_table
 from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.faults import FaultPlan, ResiliencePolicy, reference_plan
 from repro.obs import (
     Observability,
     InvocationTracer,
@@ -81,19 +89,22 @@ def _obs(tracing: bool) -> Optional[Observability]:
 
 
 def _run_all_schedulers(trace, specs, window_ms: float, label: str,
-                        tracing: bool = False) -> List[ExperimentResult]:
-    vanilla = run_experiment(VanillaScheduler(), trace, specs,
-                             workload_label=label, obs=_obs(tracing))
-    sfs = run_experiment(SfsScheduler(), trace, specs, workload_label=label,
-                         obs=_obs(tracing))
-    params = KrakenParameters.from_invocations(vanilla.invocations)
-    kraken = run_experiment(
-        KrakenScheduler(KrakenConfig(parameters=params,
-                                     window_ms=window_ms)),
-        trace, specs, workload_label=label, obs=_obs(tracing))
-    ours = run_experiment(
-        FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)),
-        trace, specs, workload_label=label, obs=_obs(tracing))
+                        tracing: bool = False,
+                        fault_plan: Optional[FaultPlan] = None,
+                        resilience: Optional[ResiliencePolicy] = None
+                        ) -> List[ExperimentResult]:
+    def run(scheduler):
+        return run_experiment(scheduler, trace, specs, workload_label=label,
+                              obs=_obs(tracing), fault_plan=fault_plan,
+                              resilience=resilience)
+
+    vanilla = run(VanillaScheduler())
+    sfs = run(SfsScheduler())
+    params = KrakenParameters.from_invocations(
+        vanilla.successful_invocations())
+    kraken = run(KrakenScheduler(KrakenConfig(parameters=params,
+                                              window_ms=window_ms)))
+    ours = run(FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)))
     return [vanilla, sfs, kraken, ours]
 
 
@@ -132,6 +143,42 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(render_table(comparison.REDUCTION_HEADERS,
                        comparison.reduction_table(),
                        title="Reductions achieved by FaaSBatch"))
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.plan is not None:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load fault plan {args.plan}: {error}",
+                  file=sys.stderr)
+            return 2
+    else:
+        plan = reference_plan(seed=args.seed)
+    policy = ResiliencePolicy(max_attempts=args.max_attempts,
+                              backoff_base_ms=args.backoff_ms,
+                              seed=args.seed)
+    trace, specs = _workload(args.workload, args.total, args.seed)
+    print(f"Chaos run: {plan.fault_count()} planned faults (seed "
+          f"{plan.seed}) over {len(trace)} {args.workload} invocations, "
+          f"retries up to {policy.max_attempts} attempts...")
+    results = _run_all_schedulers(trace, specs, args.window, args.workload,
+                                  tracing=args.trace is not None,
+                                  fault_plan=plan, resilience=policy)
+    if args.trace is not None:
+        lines = _export_span_traces(
+            args.trace,
+            [(r.scheduler_name, r.trace) for r in results])
+        print(f"Wrote {lines} span/event/annotation records to {args.trace}")
+    headers, rows = attempt_latency_table(results)
+    print(render_table(headers, rows,
+                       title="Resilience under the fault plan"))
+    worst = min(results, key=lambda r: r.goodput())
+    if worst.goodput() < 1.0:
+        print(f"warning: {worst.scheduler_name} finished at "
+              f"{worst.goodput() * 100.0:.1f}% goodput "
+              f"({worst.failure_count} invocations exhausted retries)")
     return 0
 
 
@@ -273,6 +320,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(compare)
     add_tracing(compare)
     compare.set_defaults(func=cmd_compare)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a fault plan against all four schedulers with retries")
+    chaos.add_argument("--plan", default=None, metavar="PATH",
+                       help="fault plan JSON (default: built-in reference "
+                            "plan)")
+    chaos.add_argument("--workload", choices=("cpu", "io"), default="io")
+    chaos.add_argument("--total", type=int, default=None,
+                       help="invocation count (default: paper sizes)")
+    chaos.add_argument("--window", type=float, default=200.0,
+                       help="dispatch window in ms")
+    chaos.add_argument("--max-attempts", type=int, default=5,
+                       help="retry budget per invocation")
+    chaos.add_argument("--backoff-ms", type=float, default=50.0,
+                       help="base retry backoff in simulated ms")
+    add_common(chaos)
+    add_tracing(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     sweep = sub.add_parser("sweep", help="sweep the dispatch interval")
     sweep.add_argument("--workload", choices=("cpu", "io"), default="io")

@@ -72,3 +72,52 @@ class WorkloadError(ReproError):
 
 class MultiplexerError(ReproError):
     """The resource multiplexer was misused (e.g. unhashable arguments)."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    The resilience layer (:mod:`repro.faults`) retries invocations whose
+    error derives from this class; application (handler) errors do not, so
+    a buggy function is not retried into oblivion by default.
+    """
+
+
+class ContainerCrashed(TransientError):
+    """The container executing the invocation crashed mid-flight."""
+
+
+class OomKilled(ContainerCrashed):
+    """The container was killed because machine memory crossed a threshold."""
+
+
+class ColdStartError(TransientError):
+    """A container could not be provisioned for this invocation."""
+
+
+class ColdStartFailed(ColdStartError):
+    """Provisioning ran (and its latency was paid) but the container died."""
+
+
+class ColdStartRefused(ColdStartError):
+    """The circuit breaker refused to provision (image quarantined)."""
+
+
+class TransientDispatchError(TransientError):
+    """The dispatch RPC to the container failed transiently."""
+
+
+class InvocationTimeout(TransientError):
+    """The invocation exceeded its per-attempt timeout and was aborted."""
+
+
+class HedgeSuperseded(ReproError):
+    """A hedged shadow won the race; the primary attempt is cancelled.
+
+    Deliberately *not* transient: the invocation already succeeded via its
+    hedge, so the aborted primary must not trigger a retry.
+    """
+
+
+class HedgeCancelled(ReproError):
+    """The primary finished first; the hedged shadow is cancelled."""

@@ -35,6 +35,11 @@ class EventKind(enum.Enum):
     INVOCATION_FAILED = "invocation-failed"
     CONTAINER_RELEASED = "container-released"
     CONTAINER_EXPIRED = "container-expired"
+    FAULT_INJECTED = "fault-injected"
+    CONTAINER_CRASHED = "container-crashed"
+    INVOCATION_RETRIED = "invocation-retried"
+    INVOCATION_HEDGED = "invocation-hedged"
+    BREAKER_TRANSITION = "breaker-transition"
 
 
 @dataclass(frozen=True)

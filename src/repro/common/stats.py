@@ -89,7 +89,9 @@ class SampleStats:
         rank = (q / 100.0) * (len(ordered) - 1)
         low = int(math.floor(rank))
         high = int(math.ceil(rank))
-        if low == high:
+        if low == high or ordered[low] == ordered[high]:
+            # The equality case also guards interpolation between equal
+            # subnormals, where a*(1-f) + a*f can underflow below a.
             return ordered[low]
         frac = rank - low
         return ordered[low] * (1.0 - frac) + ordered[high] * frac

@@ -125,7 +125,9 @@ class SimResourceMultiplexer:
         ready = entry.ready
         del self._cache[key]
         assert ready is not None
-        ready.fail(error)
+        # Defused: a crash that kills the builder usually kills the waiters
+        # too, so the broadcast may legitimately find nobody listening.
+        ready.fail(error).defuse()
 
     # -- introspection -------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
+from repro.common.errors import ColdStartError
 from repro.common.eventlog import EventKind
 from repro.core.mapper import FunctionGroup
 
@@ -57,42 +58,46 @@ class InlineParallelProducer:
         if warm_container is not None:
             container, cold_start_ms = warm_container, 0.0
         else:
-            container, cold_start_ms = yield from platform.acquire_container(
-                group.function,
-                concurrency_limit=self.concurrency_limit(group),
-                with_multiplexer=self.multiplex_resources)
+            try:
+                container, cold_start_ms = \
+                    yield from platform.acquire_container(
+                        group.function,
+                        concurrency_limit=self.concurrency_limit(group),
+                        with_multiplexer=self.multiplex_resources)
+            except ColdStartError as error:
+                platform.fail_undispatched(list(group.invocations), error)
+                return
         now = platform.env.now
-        for invocation in group.invocations:
-            invocation.mark_dispatched(now, cold_start_ms)
-            platform.obs.tracer.invocation_dispatched(
-                invocation.invocation_id, now, cold_start_ms,
-                container.container_id)
+        invocations = platform.begin_dispatch(
+            container, list(group.invocations), cold_start_ms)
+        if not invocations:
+            platform.release_container(container)
+            return
         platform.event_log.record(now, EventKind.BATCH_STARTED,
                                   container_id=container.container_id,
-                                  batch_size=group.size,
+                                  batch_size=len(invocations),
                                   function_id=group.function_id)
         platform.obs.tracer.container_event(
             container.container_id, "batch-started", now,
-            batch_size=group.size, function_id=group.function_id)
+            batch_size=len(invocations), function_id=group.function_id)
         if self.early_return:
             # Future-work extension: each caller gets its response the
             # moment its own invocation finishes.
-            processes = container.execute_invocations(
-                list(group.invocations))
-            for invocation, process in zip(group.invocations, processes):
+            processes = container.execute_invocations(invocations)
+            for invocation, process in zip(invocations, processes):
                 self._respond_on_completion(platform, invocation, process)
             yield platform.env.all_of(processes)
         else:
             # Step 3 as published: the HTTP request returns only after ALL
             # invocations of the function group have completed.
-            yield container.execute_batch(list(group.invocations))
+            yield container.execute_batch(invocations)
             now = platform.env.now
-            for invocation in group.invocations:
+            for invocation in invocations:
                 invocation.mark_responded(now)
                 platform.note_completed(invocation)
         platform.release_container(container)
         self.groups_executed += 1
-        self.invocations_executed += group.size
+        self.invocations_executed += len(invocations)
 
     @staticmethod
     def _respond_on_completion(platform: "ServerlessPlatform",

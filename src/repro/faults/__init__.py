@@ -1,0 +1,52 @@
+"""Deterministic fault injection and resilience (repro.faults).
+
+Two halves, usable independently:
+
+* :mod:`repro.faults.plan` + :mod:`repro.faults.injector` — declarative,
+  seeded :class:`FaultPlan`\\ s executed by a :class:`FaultInjector` against
+  the simulated platform (container crashes, cold-start failures, straggler
+  slowdowns, transient dispatch errors, OOM kills);
+* :mod:`repro.faults.resilience` — the :class:`ResiliencePolicy` recovery
+  layer the platform consults (bounded retries with exponential backoff and
+  seeded jitter, per-invocation timeouts, hedged re-dispatch, a per-function
+  circuit breaker for repeated cold-start failures).
+
+Everything is deterministic: the same seed replays the same faults and the
+same jitter.  With no plan and no policy installed, the platform behaves
+bit-identically to a build without this package (the zero-overhead-off
+invariant, enforced by tests).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ColdStartFailureFault,
+    ContainerCrashFault,
+    DispatchErrorFault,
+    FaultPlan,
+    OomKillFault,
+    StragglerFault,
+    reference_plan,
+)
+from repro.faults.resilience import (
+    BackoffSchedule,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceManager,
+    ResiliencePolicy,
+)
+
+__all__ = [
+    "BackoffSchedule",
+    "BreakerState",
+    "CircuitBreaker",
+    "ColdStartFailureFault",
+    "ContainerCrashFault",
+    "DispatchErrorFault",
+    "FaultInjector",
+    "FaultPlan",
+    "OomKillFault",
+    "ResilienceManager",
+    "ResiliencePolicy",
+    "StragglerFault",
+    "reference_plan",
+]

@@ -15,7 +15,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
-from repro.common.errors import ContainerStateError
+from repro.common.errors import ContainerStateError, InvocationTimeout
 from repro.local.multiplexer import ResourceMultiplexer
 
 #: A function handler: ``handler(payload, context) -> result``.
@@ -34,6 +34,14 @@ class LocalInvocation:
     dispatched_at: Optional[float] = None
     started_at: Optional[float] = None
     completed_at: Optional[float] = None
+    #: Outcome of the latest attempt, recorded before the future resolves
+    #: so the platform's retry layer can intercept failures.
+    result: Any = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
+    #: ``submitted_at`` of attempt 1 (``submitted_at`` is the current
+    #: attempt's re-enqueue time once retries happen).
+    first_submitted_at: Optional[float] = None
 
     @property
     def latency_seconds(self) -> float:
@@ -48,6 +56,41 @@ class LocalInvocation:
             raise ContainerStateError(
                 f"{self.invocation_id} has not completed")
         return self.completed_at - self.started_at
+
+    @property
+    def total_latency_seconds(self) -> float:
+        """First submission to final completion, retries + backoffs included."""
+        if self.completed_at is None:
+            raise ContainerStateError(
+                f"{self.invocation_id} has not completed")
+        origin = (self.first_submitted_at
+                  if self.first_submitted_at is not None
+                  else self.submitted_at)
+        return self.completed_at - origin
+
+    def resolve(self) -> None:
+        """Resolve the caller's future from the recorded outcome."""
+        if self.future.done():
+            return
+        if self.error is not None:
+            self.future.set_exception(self.error)
+        else:
+            self.future.set_result(self.result)
+
+    def reset_for_retry(self) -> None:
+        """Re-arm for another attempt (caller re-enqueues afterwards)."""
+        if self.error is None:
+            raise ContainerStateError(
+                f"{self.invocation_id} retried without a failure")
+        if self.first_submitted_at is None:
+            self.first_submitted_at = self.submitted_at
+        self.attempts += 1
+        self.submitted_at = time.monotonic()
+        self.dispatched_at = None
+        self.started_at = None
+        self.completed_at = None
+        self.result = None
+        self.error = None
 
 
 @dataclass(frozen=True)
@@ -78,19 +121,35 @@ class LocalContainer:
                  handler: Handler,
                  concurrency: Optional[int] = None,
                  use_multiplexer: bool = True,
-                 cold_start_seconds: float = 0.0) -> None:
+                 cold_start_seconds: float = 0.0,
+                 timeout_seconds: Optional[float] = None,
+                 defer_resolution: bool = False) -> None:
         if concurrency is not None and concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1 or None, got {concurrency}")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be > 0 or None, got {timeout_seconds}")
         self.container_id = container_id
         self.function_name = function_name
         self.handler = handler
         self.multiplexer = ResourceMultiplexer() if use_multiplexer else None
+        #: Wall-clock budget per handler call.  A handler that overruns is
+        #: abandoned on its (daemon) worker thread and the invocation fails
+        #: with :class:`InvocationTimeout` — Python threads cannot be
+        #: killed, so the overrunning call leaks until process exit.
+        self.timeout_seconds = timeout_seconds
+        #: When True the container only *records* each outcome on the
+        #: invocation; the platform's retry layer decides when the caller's
+        #: future resolves.  Direct/standalone use keeps the default
+        #: (futures resolve as each invocation finishes).
+        self.defer_resolution = defer_resolution
         self._slots = (threading.Semaphore(concurrency)
                        if concurrency is not None else None)
         self._active = 0
         self._lock = threading.Lock()
         self.invocations_served = 0
+        self.invocations_timed_out = 0
         self.stopped = False
         if cold_start_seconds > 0:
             # The provisioning cost (image pull, runtime boot) of a real
@@ -147,16 +206,49 @@ class LocalContainer:
             multiplexer=self.multiplexer)
         invocation.started_at = time.monotonic()
         try:
-            result = self.handler(invocation.payload, context)
-        except BaseException as error:  # handler failure -> future failure
+            invocation.result, invocation.error = self._call_handler(
+                invocation, context)
             invocation.completed_at = time.monotonic()
-            invocation.future.set_exception(error)
-        else:
-            invocation.completed_at = time.monotonic()
-            invocation.future.set_result(result)
+            if not self.defer_resolution:
+                invocation.resolve()
         finally:
             if self._slots is not None:
                 self._slots.release()
             with self._lock:
                 self._active -= 1
                 self.invocations_served += 1
+
+    def _call_handler(self, invocation: LocalInvocation,
+                      context: InvocationContext):
+        """Run the handler, enforcing the per-invocation timeout if set.
+
+        Returns ``(result, error)`` — exactly one is meaningful.  Timeouts
+        run the handler on an inner daemon thread and abandon it when the
+        budget elapses (the thread itself cannot be cancelled).
+        """
+        if self.timeout_seconds is None:
+            try:
+                return self.handler(invocation.payload, context), None
+            except BaseException as error:  # handler failure -> recorded
+                return None, error
+        outcome: dict = {}
+
+        def call() -> None:
+            try:
+                outcome["result"] = self.handler(invocation.payload, context)
+            except BaseException as error:
+                outcome["error"] = error
+
+        worker = threading.Thread(
+            target=call, daemon=True,
+            name=f"{self.container_id}:{invocation.invocation_id}:handler")
+        worker.start()
+        worker.join(self.timeout_seconds)
+        if worker.is_alive():
+            with self._lock:
+                self.invocations_timed_out += 1
+            return None, InvocationTimeout(
+                f"{invocation.invocation_id} exceeded "
+                f"{self.timeout_seconds}s on {self.container_id} "
+                f"(attempt {invocation.attempts})")
+        return outcome.get("result"), outcome.get("error")

@@ -44,6 +44,14 @@ class LocalPlatformConfig:
     #: Idle warm containers are reclaimed after this long; None keeps them
     #: forever (the default: examples/tests are short-lived).
     keep_alive_seconds: Optional[float] = None
+    #: Wall-clock budget per handler call; overruns fail the attempt with
+    #: :class:`~repro.common.errors.InvocationTimeout`.  None = unlimited.
+    request_timeout_seconds: Optional[float] = None
+    #: Total attempts per invocation (1 = no retries).  Failed attempts are
+    #: re-enqueued through the dispatcher, so retried work re-batches.
+    max_attempts: int = 1
+    #: Base delay before re-enqueueing a failed attempt; doubles per retry.
+    retry_backoff_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.policy not in _POLICIES:
@@ -57,6 +65,18 @@ class LocalPlatformConfig:
             raise ConfigurationError(
                 f"keep_alive_seconds must be > 0 or None, "
                 f"got {self.keep_alive_seconds}")
+        if self.request_timeout_seconds is not None \
+                and self.request_timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"request_timeout_seconds must be > 0 or None, "
+                f"got {self.request_timeout_seconds}")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.retry_backoff_seconds < 0:
+            raise ConfigurationError(
+                f"retry_backoff_seconds must be >= 0, "
+                f"got {self.retry_backoff_seconds}")
 
     @classmethod
     def vanilla(cls) -> "LocalPlatformConfig":
@@ -83,6 +103,8 @@ class LocalPlatform:
         self._inflight_zero.set()
         self.containers_created = 0
         self.containers_expired = 0
+        self.retries_scheduled = 0
+        self.retries_exhausted = 0
         self._released_at: Dict[str, float] = {}
         self.completed: List[LocalInvocation] = []
         self._completed_lock = threading.Lock()
@@ -211,12 +233,46 @@ class LocalPlatform:
             container.execute_batch(group)
         finally:
             self._release(container)
+            final, retry = [], []
+            for invocation in group:
+                if invocation.error is not None \
+                        and invocation.attempts < self.config.max_attempts:
+                    retry.append(invocation)
+                else:
+                    final.append(invocation)
+            for invocation in final:
+                if invocation.error is not None:
+                    self.retries_exhausted += 1
+                invocation.resolve()
             with self._completed_lock:
-                self.completed.extend(group)
+                self.completed.extend(final)
             with self._inflight_lock:
-                self._inflight -= len(group)
+                # Retried invocations never decrement here, so reaching
+                # zero means nothing is queued, running, or backing off.
+                self._inflight -= len(final)
                 if self._inflight == 0:
                     self._inflight_zero.set()
+            for invocation in retry:
+                self._schedule_retry(invocation)
+
+    def _schedule_retry(self, invocation: LocalInvocation) -> None:
+        """Re-enqueue a failed attempt after its (exponential) backoff.
+
+        The invocation stays in flight — ``drain`` keeps waiting — and
+        re-enters the dispatch queue, so a retry can batch with whatever
+        traffic is in the window when it lands.
+        """
+        invocation.reset_for_retry()
+        self.retries_scheduled += 1
+        retry_number = invocation.attempts - 1  # 1 for the first retry
+        delay = self.config.retry_backoff_seconds * 2 ** (retry_number - 1)
+        if delay > 0:
+            timer = threading.Timer(delay, self._queue.put,
+                                    args=(invocation,))
+            timer.daemon = True
+            timer.start()
+        else:
+            self._queue.put(invocation)
 
     # -- warm pool ----------------------------------------------------------------------
 
@@ -231,7 +287,9 @@ class LocalPlatform:
             handler=self._handlers[name],
             concurrency=self.config.container_concurrency,
             use_multiplexer=self.config.use_multiplexer,
-            cold_start_seconds=self.config.cold_start_seconds)
+            cold_start_seconds=self.config.cold_start_seconds,
+            timeout_seconds=self.config.request_timeout_seconds,
+            defer_resolution=True)
         with self._pool_lock:
             self.containers_created += 1
         return container

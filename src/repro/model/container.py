@@ -22,14 +22,18 @@ A container in this model matches the paper's prototype containers:
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.common.errors import ContainerStateError
+from repro.common.errors import (
+    ContainerStateError,
+    HedgeSuperseded,
+    ProcessInterrupted,
+)
 from repro.model.calibration import Calibration
 from repro.model.function import FunctionSpec, Invocation
 from repro.model.storage import ClientInstance, StorageClientCostModel
 from repro.model.workprofile import ClientCreation, CpuWork, IoWait, WorkProfile
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Environment, Event, Process
 from repro.sim.machine import Machine
 from repro.sim.primitives import Resource
 
@@ -46,6 +50,7 @@ class ContainerState(enum.Enum):
     WARM = "warm"         # started and idle
     ACTIVE = "active"     # executing at least one invocation
     STOPPED = "stopped"
+    CRASHED = "crashed"   # killed by a fault; in-flight work was aborted
 
 
 class SimContainer:
@@ -95,6 +100,11 @@ class SimContainer:
         if concurrency_limit is not None:
             self._executor = Resource(env, capacity=concurrency_limit)
         self._client_instances: List[ClientInstance] = []
+        #: Live invocation processes by invocation id — the handles the
+        #: fault/resilience layer uses to crash, time out or hedge them.
+        self._inflight: Dict[str, Process] = {}
+        self.crash_error: Optional[BaseException] = None
+        self.invocations_superseded = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -132,6 +142,9 @@ class SimContainer:
         """Tear the container down, releasing memory and its CPU group."""
         if self.state is ContainerState.STOPPED:
             raise ContainerStateError(f"{self.container_id} already stopped")
+        if self.state is ContainerState.CRASHED:
+            raise ContainerStateError(
+                f"{self.container_id} crashed; teardown already ran")
         if self.active_invocations:
             raise ContainerStateError(
                 f"{self.container_id} has {self.active_invocations} "
@@ -159,6 +172,74 @@ class SimContainer:
     def client_memory_mb(self) -> float:
         """Resident memory of this container's live client instances."""
         return self.machine.memory.held_by(self._client_memory_owner)
+
+    @property
+    def cpu_group_name(self) -> str:
+        """The container's CPU cgroup (the straggler fault's cap target)."""
+        return self._group_name
+
+    @property
+    def resident_memory_mb(self) -> float:
+        """Container + client memory currently charged to this container."""
+        return (self.machine.memory.held_by(self._memory_owner)
+                + self.machine.memory.held_by(self._client_memory_owner))
+
+    # -- fault hooks -------------------------------------------------------------
+
+    def crash(self, error: BaseException) -> int:
+        """Kill this container mid-flight, aborting all in-flight invocations.
+
+        Every live invocation process is interrupted with *error* (their
+        handlers mark the invocations failed, freeing per-invocation memory
+        on the way out), then a same-instant teardown process reclaims the
+        container's CPU group and memory.  Interrupts are delivered before
+        the teardown runs — both are urgent events enqueued in order — so
+        teardown never races the unwinding invocations.  Returns the number
+        of invocations aborted.
+        """
+        if self.state not in (ContainerState.WARM, ContainerState.ACTIVE):
+            raise ContainerStateError(
+                f"{self.container_id} cannot crash from {self.state}")
+        self.state = ContainerState.CRASHED
+        self.crash_error = error
+        victims = [process for process in self._inflight.values()
+                   if process.is_alive]
+        for process in victims:
+            process.interrupt(error)
+        self.env.process(self._teardown_after_crash(),
+                         name=f"crash:{self.container_id}")
+        return len(victims)
+
+    def inflight_process(self, invocation_id: str) -> Optional[Process]:
+        """The live process running *invocation_id* here, if any."""
+        process = self._inflight.get(invocation_id)
+        if process is None or not process.is_alive:
+            return None
+        return process
+
+    def abort_invocation(self, invocation_id: str,
+                         error: BaseException) -> bool:
+        """Interrupt one in-flight invocation (timeout / hedge cancel).
+
+        Returns False when the invocation is not running here anymore (it
+        finished this very instant, or was never dispatched to us).
+        """
+        process = self._inflight.get(invocation_id)
+        if process is None or not process.is_alive:
+            return False
+        process.interrupt(error)
+        return True
+
+    def _teardown_after_crash(self):
+        yield self.env.timeout(0.0)
+        if self.machine.cpu.has_group(self._group_name):
+            self.machine.cpu.abort_group_tasks(self._group_name)
+            self.machine.cpu.remove_group(self._group_name)
+        if self.machine.memory.held_by(self._memory_owner):
+            self.machine.memory.free(self._memory_owner)
+        if self.machine.memory.held_by(self._client_memory_owner):
+            self.machine.memory.free(self._client_memory_owner)
+        self.stopped_at_ms = self.env.now
 
     # -- execution -------------------------------------------------------------------
 
@@ -194,11 +275,14 @@ class SimContainer:
                     f"{invocation.invocation_id} is for "
                     f"{invocation.function.function_id}, container runs "
                     f"{self.function.function_id}")
-        return [
-            self.env.process(self._run_invocation(invocation),
-                             name=f"exec:{invocation.invocation_id}")
-            for invocation in invocations
-        ]
+        processes = []
+        for invocation in invocations:
+            process = self.env.process(
+                self._run_invocation(invocation),
+                name=f"exec:{invocation.trace_id}")
+            self._inflight[invocation.invocation_id] = process
+            processes.append(process)
+        return processes
 
     def _run_invocation(self, invocation: Invocation):
         self.state = ContainerState.ACTIVE
@@ -212,7 +296,7 @@ class SimContainer:
             invocation.container_id = self.container_id
             if self.tracer is not None:
                 self.tracer.execution_started(
-                    invocation.invocation_id, self.env.now,
+                    invocation.trace_id, self.env.now,
                     self.container_id)
             self.machine.memory.allocate(
                 self._memory_owner, self.calibration.invocation_memory_mb)
@@ -226,18 +310,35 @@ class SimContainer:
             self.invocations_served += 1
             if self.tracer is not None:
                 self.tracer.execution_completed(
-                    invocation.invocation_id, self.env.now)
+                    invocation.trace_id, self.env.now)
         except BaseException as error:
-            invocation.mark_failed(self.env.now, error)
-            self.invocations_failed += 1
-            if self.tracer is not None:
-                self.tracer.execution_failed(
-                    invocation.invocation_id, self.env.now, error)
+            # An interrupt (crash / timeout / hedge cancel) arrives wrapped;
+            # the invocation's recorded error is the underlying cause.
+            cause: BaseException = error
+            if isinstance(error, ProcessInterrupted) \
+                    and isinstance(error.cause, BaseException):
+                cause = error.cause
+            if isinstance(cause, HedgeSuperseded):
+                # The hedged shadow already won and its result was adopted:
+                # this attempt stands down without failing the invocation.
+                self.invocations_superseded += 1
+            else:
+                invocation.mark_failed(self.env.now, cause)
+                self.invocations_failed += 1
+                if self.tracer is not None:
+                    self.tracer.execution_failed(
+                        invocation.trace_id, self.env.now, cause)
             if not self.isolate_failures:
                 raise
         finally:
+            self._inflight.pop(invocation.invocation_id, None)
             if slot is not None:
-                slot.release()
+                if slot.triggered:
+                    slot.release()
+                else:
+                    # Interrupted while waiting for the execution slot.
+                    assert self._executor is not None
+                    self._executor.cancel(slot)
             self.active_invocations -= 1
             if self.active_invocations == 0 and \
                     self.state is ContainerState.ACTIVE:

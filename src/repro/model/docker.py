@@ -48,6 +48,7 @@ class ContainerHandle:
             ContainerState.WARM: "running",
             ContainerState.ACTIVE: "running",
             ContainerState.STOPPED: "exited",
+            ContainerState.CRASHED: "dead",
         }
         return mapping[self._container.state]
 

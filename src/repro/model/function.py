@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.common.errors import SchedulingError
 from repro.model.workprofile import WorkProfile
@@ -82,6 +82,19 @@ class LatencyBreakdown:
         return self.execution_ms + self.queuing_ms
 
 
+@dataclass(frozen=True)
+class AttemptRecord:
+    """Archived stamps of one failed attempt (preserved across retries)."""
+
+    attempt: int
+    arrival_ms: float
+    latency: LatencyBreakdown
+    dispatched_ms: Optional[float]
+    completed_ms: Optional[float]
+    container_id: Optional[str]
+    error: Optional[str]
+
+
 @dataclass
 class Invocation:
     """One function invocation flowing through the platform."""
@@ -104,6 +117,14 @@ class Invocation:
     #: extension (the paper's future work) it equals ``completed_ms``.
     responded_ms: Optional[float] = None
     error: Optional[BaseException] = None
+    #: Resilience bookkeeping: current attempt number (1 = first try),
+    #: the original arrival (attempt 1's, never overwritten by retries)
+    #: and the archived stamps of every failed earlier attempt.
+    attempts: int = 1
+    first_arrival_ms: Optional[float] = None
+    attempt_history: List[AttemptRecord] = field(default_factory=list)
+    #: True when a hedged shadow produced this invocation's result.
+    hedged: bool = False
 
     # -- stamping helpers (called by the platform/container) ---------------------
 
@@ -170,3 +191,99 @@ class Invocation:
         if self.completed_ms is None:
             raise SchedulingError(f"{self.invocation_id} not completed")
         return self.completed_ms - self.arrival_ms
+
+    # -- retry / hedge support (the resilience layer, repro.faults) --------------
+
+    @property
+    def trace_id(self) -> str:
+        """Unique per-attempt id for span traces (``inv-3`` / ``inv-3#a2``).
+
+        Attempt 1 keeps the bare invocation id, so runs without retries
+        export byte-identical traces to pre-resilience builds.
+        """
+        if self.attempts == 1:
+            return self.invocation_id
+        return f"{self.invocation_id}#a{self.attempts}"
+
+    @property
+    def initial_arrival_ms(self) -> float:
+        """Arrival of the *first* attempt (``arrival_ms`` is the current's)."""
+        return (self.first_arrival_ms
+                if self.first_arrival_ms is not None else self.arrival_ms)
+
+    @property
+    def total_response_latency_ms(self) -> float:
+        """First-arrival-to-response latency, retries and backoffs included."""
+        if self.responded_ms is None:
+            raise SchedulingError(f"{self.invocation_id} has no response")
+        return self.responded_ms - self.initial_arrival_ms
+
+    @property
+    def first_attempt_end_to_end_ms(self) -> Optional[float]:
+        """Arrival-to-completion of attempt 1, or None if it never completed
+        (e.g. its cold start failed before dispatch)."""
+        if not self.attempt_history:
+            return (self.end_to_end_ms
+                    if self.completed_ms is not None else None)
+        first = self.attempt_history[0]
+        if first.completed_ms is None:
+            return None
+        return first.completed_ms - first.arrival_ms
+
+    def reset_for_retry(self, now_ms: float) -> None:
+        """Archive the failed attempt and re-arm for re-enqueue at *now_ms*.
+
+        The attempt's breakdown and stamps move into ``attempt_history`` (so
+        first-attempt latencies stay reportable — they are never silently
+        overwritten), then every per-attempt field resets as if the
+        invocation had just arrived.
+        """
+        if self.error is None:
+            raise SchedulingError(
+                f"{self.invocation_id} retried without a failure")
+        if self.first_arrival_ms is None:
+            self.first_arrival_ms = self.arrival_ms
+        self.attempt_history.append(AttemptRecord(
+            attempt=self.attempts,
+            arrival_ms=self.arrival_ms,
+            latency=self.latency,
+            dispatched_ms=self.dispatched_ms,
+            completed_ms=self.completed_ms,
+            container_id=self.container_id,
+            error=type(self.error).__name__))
+        self.attempts += 1
+        self.arrival_ms = now_ms
+        self.state = InvocationState.RECEIVED
+        self.latency = LatencyBreakdown()
+        self.container_id = None
+        self.dispatched_ms = None
+        self.execution_start_ms = None
+        self.completed_ms = None
+        self.responded_ms = None
+        self.error = None
+
+    def adopt_hedge_result(self, shadow: "Invocation") -> None:
+        """Take a winning hedged shadow's outcome as this attempt's result.
+
+        The shadow ran on another container with its own absolute stamps;
+        adopting them keeps the breakdown sum-consistent: everything between
+        this attempt's dispatch and the shadow's execution start counts as
+        queuing (the price of hedging late), execution is the shadow's.
+        """
+        if self.completed_ms is not None:
+            raise SchedulingError(
+                f"{self.invocation_id} already completed; cannot adopt hedge")
+        if shadow.completed_ms is None or shadow.error is not None:
+            raise SchedulingError(
+                f"hedge {shadow.invocation_id} did not complete cleanly")
+        self.execution_start_ms = shadow.execution_start_ms
+        self.completed_ms = shadow.completed_ms
+        if self.dispatched_ms is not None \
+                and shadow.execution_start_ms is not None:
+            self.latency.queuing_ms = \
+                shadow.execution_start_ms - self.dispatched_ms
+        self.latency.execution_ms = shadow.latency.execution_ms
+        self.container_id = shadow.container_id
+        self.error = None
+        self.state = InvocationState.COMPLETED
+        self.hedged = True

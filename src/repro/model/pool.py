@@ -44,6 +44,10 @@ class ContainerPool:
         #: Containers found non-idle on the idle list (stopped out of band);
         #: they are retired with full accounting instead of silently leaking.
         self.stale_evictions = 0
+        #: Crashed/stopped containers refused at release() instead of being
+        #: re-parked — without this a crashed container re-enters the idle
+        #: list and is handed out as a "warm" container later.
+        self.rejected_releases = 0
         self._on_expire: Optional[Callable[[SimContainer], None]] = None
 
     # -- acquisition ------------------------------------------------------------
@@ -72,9 +76,23 @@ class ContainerPool:
         self.metrics.counter("pool.provisioned").inc()
         self._bump(container)
 
-    def release(self, container: SimContainer) -> None:
-        """Return *container* to the pool and arm its keep-alive expiry."""
+    def release(self, container: SimContainer) -> bool:
+        """Return *container* to the pool and arm its keep-alive expiry.
+
+        A container that died out-of-band (crashed by a fault, or stopped)
+        is *rejected*: it must not re-enter the idle list, where it would be
+        handed out as a warm container later.  Rejections are counted and
+        return False; releasing a container with live work is still a
+        programming error and raises.
+        """
         if not container.is_idle:
+            if container.state in (ContainerState.STOPPED,
+                                   ContainerState.CRASHED) \
+                    and not container.active_invocations:
+                self._bump(container)  # stand down any pending expiry
+                self.rejected_releases += 1
+                self.metrics.counter("pool.rejected_releases").inc()
+                return False
             raise ContainerStateError(
                 f"{container.container_id} returned to pool while not idle")
         self._idle[container.function.function_id].append(container)
@@ -83,6 +101,7 @@ class ContainerPool:
         self._publish_idle_gauge()
         self.env.process(self._expire_later(container, version),
                          name=f"expire:{container.container_id}")
+        return True
 
     def set_expiry_callback(self,
                             callback: Callable[[SimContainer], None]) -> None:
@@ -105,7 +124,9 @@ class ContainerPool:
         for function_id in list(self._idle):
             for container in self._idle.pop(function_id):
                 self._bump(container)
-                container.stop()
+                if container.state not in (ContainerState.STOPPED,
+                                           ContainerState.CRASHED):
+                    container.stop()
                 drained.append(container)
         self._publish_idle_gauge()
         return drained
@@ -127,7 +148,8 @@ class ContainerPool:
         it from every metric (the pre-fix behaviour).
         """
         self._bump(container)
-        if container.state is not ContainerState.STOPPED \
+        if container.state not in (ContainerState.STOPPED,
+                                   ContainerState.CRASHED) \
                 and not container.active_invocations \
                 and container.state is not ContainerState.STARTING:
             container.stop()
@@ -145,6 +167,13 @@ class ContainerPool:
         idle = self._idle.get(container.function.function_id, [])
         if container in idle:
             idle.remove(container)
+            if container.state is ContainerState.CRASHED:
+                # Crashed while parked: teardown already ran, just retire it
+                # from the pool's books.
+                self.stale_evictions += 1
+                self.metrics.counter("pool.stale_evictions").inc()
+                self._publish_idle_gauge()
+                return
             container.stop()
             self.expired_total += 1
             self.metrics.counter("pool.expired").inc()

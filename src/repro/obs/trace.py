@@ -121,6 +121,30 @@ class ContainerEvent:
 
 
 @dataclass(frozen=True)
+class Annotation:
+    """One free-form point event (fault injections, recovery actions).
+
+    Faults and resilience decisions don't belong to a single invocation
+    span (a crash kills many; a breaker transition belongs to a function),
+    so they are recorded as typed annotations alongside the span stream.
+    """
+
+    kind: str
+    time_ms: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "type": "annotation",
+            "kind": self.kind,
+            "time_ms": self.time_ms,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass(frozen=True)
 class InvocationTimeline:
     """The complete, ordered span sequence of one invocation."""
 
@@ -233,6 +257,7 @@ class InvocationTracer:
         self._timelines: Dict[str, InvocationTimeline] = {}
         self._order: List[str] = []  # completion order, deterministic
         self.container_events: List[ContainerEvent] = []
+        self.annotations: List[Annotation] = []
 
     def enable(self) -> "InvocationTracer":
         self.enabled = True
@@ -340,6 +365,13 @@ class InvocationTracer:
         self.container_events.append(
             ContainerEvent(container_id, kind, time_ms, attrs))
 
+    def annotation(self, kind: str, time_ms: float,
+                   **attrs: object) -> None:
+        """Record a point event outside any single invocation's timeline."""
+        if not self.enabled:
+            return
+        self.annotations.append(Annotation(kind, time_ms, attrs))
+
     # -- reconstruction ----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -423,6 +455,11 @@ def write_jsonl(handle, tracer: InvocationTracer,
         record.update(decoration)
         handle.write(json.dumps(record, sort_keys=True) + "\n")
         written += 1
+    for annotation in tracer.annotations:
+        record = annotation.to_dict()
+        record.update(decoration)
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        written += 1
     return written
 
 
@@ -441,3 +478,9 @@ def span_records(records: Iterable[Mapping[str, object]]
                  ) -> List[Mapping[str, object]]:
     """Filter a JSONL record stream down to the span records."""
     return [r for r in records if r.get("type") == "span"]
+
+
+def annotation_records(records: Iterable[Mapping[str, object]]
+                       ) -> List[Mapping[str, object]]:
+    """Filter a JSONL record stream down to fault/recovery annotations."""
+    return [r for r in records if r.get("type") == "annotation"]

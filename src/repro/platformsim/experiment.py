@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
 from repro.common.errors import SimulationError
+from repro.common.eventlog import EventLog
 from repro.common.units import HOUR
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
 from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.model.function import FunctionSpec
 from repro.obs import Observability
@@ -34,7 +38,11 @@ def run_experiment(scheduler: "Scheduler",
                    window_ms: Optional[float] = None,
                    timeout_ms: Optional[float] = None,
                    strict_memory: bool = True,
-                   obs: Optional[Observability] = None) -> ExperimentResult:
+                   obs: Optional[Observability] = None,
+                   fault_plan: Optional[FaultPlan] = None,
+                   resilience: Optional[ResiliencePolicy] = None,
+                   event_log: Optional[EventLog] = None
+                   ) -> ExperimentResult:
     """Run *scheduler* over *trace* and return the measured result.
 
     ``window_ms`` is only a label (the scheduler object already carries its
@@ -46,6 +54,13 @@ def run_experiment(scheduler: "Scheduler",
     the run's observability bundle (pass ``Observability(tracing=True)``
     to record per-invocation span timelines); tracing and metrics are pure
     observers, so results are identical with or without them.
+
+    ``fault_plan`` installs a fresh :class:`FaultInjector` executing the
+    plan against this run; ``resilience`` turns on the recovery layer
+    (retries/timeouts/hedging/circuit breaker).  Both default to off, and
+    an empty plan is bit-identical to no plan at all.  ``event_log``
+    supplies the platform's decision log (construct it with
+    ``enabled=True`` to capture the run's typed event stream).
     """
     if timeout_ms is None:
         timeout_ms = trace.end_ms + 2.0 * HOUR
@@ -54,7 +69,11 @@ def run_experiment(scheduler: "Scheduler",
     machine = Machine(env, cores=calibration.worker_cores,
                       memory_gb=calibration.worker_memory_gb,
                       cpu=cpu, strict_memory=strict_memory)
-    platform = ServerlessPlatform(env, machine, calibration, obs=obs)
+    platform = ServerlessPlatform(env, machine, calibration, obs=obs,
+                                  resilience=resilience,
+                                  event_log=event_log)
+    if fault_plan is not None:
+        FaultInjector(fault_plan).install(platform)
     for spec in functions:
         platform.register_function(spec)
 
@@ -94,9 +113,18 @@ def run_comparison(schedulers: Sequence["Scheduler"],
                    trace: Trace,
                    functions: Sequence[FunctionSpec],
                    calibration: Calibration = DEFAULT_CALIBRATION,
-                   workload_label: str = "workload") -> List[ExperimentResult]:
-    """Run several schedulers over the same trace (fresh platform each)."""
+                   workload_label: str = "workload",
+                   fault_plan: Optional[FaultPlan] = None,
+                   resilience: Optional[ResiliencePolicy] = None
+                   ) -> List[ExperimentResult]:
+    """Run several schedulers over the same trace (fresh platform each).
+
+    The same *fault_plan* data is replayed against every scheduler, each
+    with its own fresh injector — the chaos benchmark's comparison setup.
+    """
     return [run_experiment(scheduler, trace, functions,
                            calibration=calibration,
-                           workload_label=workload_label)
+                           workload_label=workload_label,
+                           fault_plan=fault_plan,
+                           resilience=resilience)
             for scheduler in schedulers]

@@ -15,13 +15,15 @@ and the request queue, and exposes the primitives schedulers compose:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.common.errors import (
+    ColdStartFailed,
     FunctionNotRegistered,
     SchedulingError,
 )
 from repro.common.ids import IdFactory
+from repro.faults.resilience import ResilienceManager, ResiliencePolicy
 from repro.core.multiplexer import SimResourceMultiplexer
 from repro.common.eventlog import EventKind, EventLog
 from repro.obs import DEFAULT_SIZE_EDGES, Observability
@@ -34,6 +36,9 @@ from repro.sim.kernel import Environment, Event
 from repro.sim.machine import Machine
 from repro.sim.primitives import Resource, Store
 from repro.workload.trace import TraceRecord
+
+if TYPE_CHECKING:  # the injector installs itself; avoid a runtime cycle
+    from repro.faults.injector import FaultInjector
 
 
 class ServerlessPlatform:
@@ -48,7 +53,8 @@ class ServerlessPlatform:
                  calibration: Calibration,
                  ids: Optional[IdFactory] = None,
                  event_log: Optional[EventLog] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 resilience: Optional[ResiliencePolicy] = None) -> None:
         self.env = env
         #: Structured decision log (disabled by default; ``.enable()`` it).
         self.event_log = event_log if event_log is not None else EventLog()
@@ -74,6 +80,13 @@ class ServerlessPlatform:
         self.machine.cpu.create_group(self.PLATFORM_GROUP, cap=1.0)
         self._gil = Resource(env, capacity=1)
         self.pool.set_expiry_callback(self._on_container_expired)
+        #: Fault injector, set by :meth:`FaultInjector.install` (None = no
+        #: faults; every hook below is guarded so the off path is free).
+        self.faults: Optional["FaultInjector"] = None
+        #: Recovery engine (retries/timeouts/hedging/breaker), or None.
+        self.resilience: Optional[ResilienceManager] = (
+            ResilienceManager(self, resilience)
+            if resilience is not None else None)
 
     def _on_container_expired(self, container: SimContainer) -> None:
         self.event_log.record(self.env.now, EventKind.CONTAINER_EXPIRED,
@@ -114,6 +127,24 @@ class ServerlessPlatform:
             invocation.invocation_id, record.function_id, self.env.now)
         self.obs.metrics.counter("platform.requests").inc()
         return invocation
+
+    def requeue(self, invocation: Invocation) -> None:
+        """Re-enqueue a retried invocation; the scheduler re-batches it.
+
+        Called by the resilience layer after the backoff delay.  The
+        invocation was already reset (:meth:`Invocation.reset_for_retry`),
+        so it looks like a fresh arrival to whatever policy is serving the
+        queue — under FaaSBatch/Kraken it groups with other queued work.
+        """
+        self.request_queue.put(invocation)
+        self.event_log.record(self.env.now, EventKind.REQUEST_ARRIVED,
+                              invocation_id=invocation.invocation_id,
+                              function_id=invocation.function.function_id,
+                              attempt=invocation.attempts)
+        self.obs.tracer.invocation_arrived(
+            invocation.trace_id, invocation.function.function_id,
+            self.env.now)
+        self.obs.metrics.counter("platform.requeued").inc()
 
     # -- scheduler primitives ---------------------------------------------------------
 
@@ -177,7 +208,17 @@ class ServerlessPlatform:
     def cold_start(self, function: FunctionSpec,
                    concurrency_limit: Optional[int],
                    with_multiplexer: bool):
-        """Generator: provision a fresh container; returns (container, cold_ms)."""
+        """Generator: provision a fresh container; returns (container, cold_ms).
+
+        Raises :class:`~repro.common.errors.ColdStartRefused` (fail-fast,
+        no latency paid) while the function's circuit breaker is open, and
+        :class:`~repro.common.errors.ColdStartFailed` (latency paid, the
+        container died) when the fault plan fails this start.  Both are
+        transient: callers hand the affected invocations to
+        :meth:`fail_undispatched` so the retry path can re-enqueue them.
+        """
+        if self.resilience is not None:
+            self.resilience.check_cold_start_allowed(function)
         multiplexer = (SimResourceMultiplexer(self.env)
                        if with_multiplexer else None)
         handle = self.docker.containers.run(
@@ -190,6 +231,19 @@ class ServerlessPlatform:
                                         self.env.now,
                                         function_id=function.function_id)
         cold_start_ms = yield handle.started
+        if self.faults is not None \
+                and self.faults.take_cold_start_fault(function):
+            # The provisioning latency was paid, then the container died
+            # before serving anything.  It never enters the pool's books.
+            handle.sim.stop()
+            self.obs.tracer.container_event(
+                handle.id, "cold-start-failed", self.env.now,
+                function_id=function.function_id)
+            if self.resilience is not None:
+                self.resilience.record_cold_start_failure(
+                    function.function_id)
+            raise ColdStartFailed(
+                f"{handle.id} died starting {function.function_id!r}")
         self.pool.register_started(handle.sim)
         self.event_log.record(self.env.now, EventKind.COLD_START_ENDED,
                               container_id=handle.id,
@@ -199,6 +253,10 @@ class ServerlessPlatform:
                                         cold_start_ms=float(cold_start_ms))
         self.obs.metrics.histogram("platform.cold_start_ms").observe(
             float(cold_start_ms))
+        if self.resilience is not None:
+            self.resilience.record_cold_start_success(function.function_id)
+        if self.faults is not None:
+            self.faults.on_container_started(handle.sim)
         return handle.sim, float(cold_start_ms)
 
     def acquire_container(self, function: FunctionSpec,
@@ -218,17 +276,73 @@ class ServerlessPlatform:
         return container, cold_start_ms
 
     def release_container(self, container: SimContainer) -> None:
-        self.pool.release(container)
+        if not self.pool.release(container):
+            # Crashed/stopped out of band: the pool refused to re-park it.
+            self.obs.tracer.container_event(
+                container.container_id, "release-rejected", self.env.now)
+            return
         self.event_log.record(self.env.now, EventKind.CONTAINER_RELEASED,
                               container_id=container.container_id)
         self.obs.tracer.container_event(container.container_id, "released",
                                         self.env.now)
 
+    # -- dispatch ------------------------------------------------------------------
+
+    def begin_dispatch(self, container: SimContainer,
+                       invocations: List[Invocation],
+                       cold_start_ms: float) -> List[Invocation]:
+        """Stamp dispatch of *invocations* to *container*; returns accepted.
+
+        The single dispatch point shared by every scheduler: injected
+        dispatch faults divert their invocations straight into the normal
+        completion path (where the retry logic sees them), everything else
+        is stamped, traced and armed with the resilience watchdogs.  With
+        no faults and no policy this reduces exactly to the old inline
+        ``mark_dispatched`` + tracer loop.
+        """
+        now = self.env.now
+        accepted: List[Invocation] = []
+        for invocation in invocations:
+            if self.faults is not None:
+                error = self.faults.take_dispatch_fault(invocation)
+                if error is not None:
+                    invocation.mark_failed(now, error)
+                    self.note_completed(invocation)
+                    continue
+            invocation.mark_dispatched(now, cold_start_ms)
+            self.obs.tracer.invocation_dispatched(
+                invocation.trace_id, now, cold_start_ms,
+                container.container_id)
+            if self.resilience is not None:
+                self.resilience.watch(invocation, container)
+            accepted.append(invocation)
+        return accepted
+
+    def fail_undispatched(self, invocations: List[Invocation],
+                          error: BaseException) -> None:
+        """Fail *invocations* that never reached a container.
+
+        Used when a cold start dies or is refused: the invocations flow
+        through :meth:`note_completed` so retries (or final failure
+        accounting) happen exactly as for an execution failure.
+        """
+        now = self.env.now
+        for invocation in invocations:
+            invocation.mark_failed(now, error)
+            self.note_completed(invocation)
+
     # -- completion -----------------------------------------------------------------
 
     def note_completed(self, invocation: Invocation) -> None:
-        self.completed.append(invocation)
         failed = invocation.error is not None
+        if failed and self.resilience is not None \
+                and self.resilience.should_retry(invocation):
+            # Intercepted: the attempt is archived and the invocation
+            # re-enqueued after backoff.  Only *final* outcomes reach
+            # ``completed`` (and the all-done accounting below).
+            self.resilience.schedule_retry(invocation)
+            return
+        self.completed.append(invocation)
         kind = (EventKind.INVOCATION_FAILED if failed
                 else EventKind.INVOCATION_COMPLETED)
         self.event_log.record(self.env.now, kind,
@@ -236,7 +350,7 @@ class ServerlessPlatform:
                               container_id=invocation.container_id)
         responded = (invocation.responded_ms
                      if invocation.responded_ms is not None else self.env.now)
-        self.obs.tracer.invocation_responded(invocation.invocation_id,
+        self.obs.tracer.invocation_responded(invocation.trace_id,
                                              responded)
         self.obs.metrics.counter(
             "platform.failed" if failed else "platform.completed").inc()

@@ -58,6 +58,40 @@ class ExperimentResult:
     def failure_count(self) -> int:
         return len(self.failed_invocations())
 
+    # -- resilience metrics (chaos benchmark) ----------------------------------
+
+    def goodput(self) -> float:
+        """Fraction of invocations that ultimately succeeded, in [0, 1]."""
+        if not self.invocations:
+            raise ValueError("no invocations")
+        return len(self.successful_invocations()) / len(self.invocations)
+
+    def total_attempts(self) -> int:
+        """Execution attempts across all invocations (retries included)."""
+        return sum(inv.attempts for inv in self.invocations)
+
+    def retry_amplification(self) -> float:
+        """Attempts per invocation: 1.0 means no retries were needed."""
+        if not self.invocations:
+            raise ValueError("no invocations")
+        return self.total_attempts() / len(self.invocations)
+
+    def retried_invocations(self) -> List[Invocation]:
+        return [inv for inv in self.invocations if inv.attempts > 1]
+
+    def hedged_count(self) -> int:
+        """Invocations whose result came from a hedged shadow."""
+        return sum(1 for inv in self.invocations if inv.hedged)
+
+    def total_response_stats(self) -> SampleStats:
+        """First-arrival-to-response latency (retries + backoffs included)."""
+        return SampleStats(inv.total_response_latency_ms
+                           for inv in self.successful_invocations())
+
+    def total_response_cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(inv.total_response_latency_ms
+                            for inv in self.successful_invocations())
+
     # -- latency series (Figs. 11 / 12) ---------------------------------------
 
     def scheduling_cdf(self) -> EmpiricalCdf:

@@ -169,6 +169,44 @@ class FairShareCpu:
         except KeyError:
             raise SimulationError(f"unknown CPU group {name!r}") from None
 
+    def has_group(self, name: str) -> bool:
+        return name in self._groups
+
+    def set_group_cap(self, name: str, cap: Optional[float]) -> None:
+        """Re-cap *name* at runtime (the straggler-slowdown fault hook).
+
+        Settles elapsed work at the old rates first, then reallocates, so a
+        mid-flight cap change charges exactly the work done before it.
+        """
+        if cap is not None:
+            if cap <= 0:
+                raise ValueError(f"group cap must be > 0, got {cap}")
+            cap = min(cap, self.cores)
+        group = self.group(name)
+        self._settle_elapsed()
+        group.cap = cap
+        self._reallocate_and_arm()
+
+    def abort_group_tasks(self, name: str) -> int:
+        """Drop every runnable task of *name* without firing its done event.
+
+        Used by container-crash teardown: the processes waiting on those
+        events were interrupted (and detached from them), so the events must
+        *not* fire — the work simply vanishes.  Returns the number dropped.
+        """
+        group = self.group(name)
+        if not group.tasks:
+            return 0
+        self._settle_elapsed()
+        dropped = 0
+        for task in list(group.tasks):
+            self._tasks.pop(task, None)
+            group.tasks.pop(task, None)
+            task.rate = 0.0
+            dropped += 1
+        self._reallocate_and_arm()
+        return dropped
+
     # -- work submission ---------------------------------------------------------
 
     def submit(self, work: float, group: str = HOST_GROUP,

@@ -110,6 +110,19 @@ class Event:
         self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
         return self
 
+    def defuse(self) -> "Event":
+        """Allow this event's failure to pass with no waiters attached.
+
+        By default a failure nobody waited on is re-raised by the kernel (a
+        lost error is a simulation bug).  Broadcast-style events — e.g. an
+        in-flight build aborted by a container crash, whose waiters may all
+        have been interrupted away — opt out with ``fail(err).defuse()``:
+        any remaining waiters still receive the exception, but zero waiters
+        is no longer an error.
+        """
+        self._defused = True  # type: ignore[attr-defined]
+        return self
+
     # -- composition -------------------------------------------------------------
 
     def __and__(self, other: "Event") -> "AllOf":

@@ -12,7 +12,7 @@ our experiments size workloads the same way the paper did to stay below it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from repro.common.errors import CapacityExceeded, SimulationError
 from repro.sim.kernel import Environment
@@ -40,6 +40,17 @@ class MemoryAccount:
         self._used = 0.0
         self._peak = 0.0
         self._series: List[MemorySample] = [MemorySample(env.now, 0.0)]
+        #: Observers of usage changes, ``hook(used_mb)`` — the OOM-fault
+        #: watch point.  None installed → zero overhead on the hot path.
+        self._usage_hooks: List[Callable[[float], None]] = []
+
+    def add_usage_hook(self, hook: Callable[[float], None]) -> None:
+        """Call ``hook(used_mb)`` after every allocate/free.
+
+        Hooks must not allocate or free synchronously (re-entrancy); an OOM
+        watcher should schedule a zero-delay process to act instead.
+        """
+        self._usage_hooks.append(hook)
 
     @property
     def used_mb(self) -> float:
@@ -98,3 +109,5 @@ class MemoryAccount:
 
     def _record(self) -> None:
         self._series.append(MemorySample(self.env.now, self._used))
+        for hook in self._usage_hooks:
+            hook(self._used)

@@ -65,6 +65,22 @@ class Resource:
         """Create a pending acquisition (an event to yield on)."""
         return Request(self)
 
+    def cancel(self, request: Request) -> None:
+        """Withdraw *request*, whether it is still queued or already granted.
+
+        Needed when the process that issued the request is interrupted (a
+        timeout or a container crash) while waiting for its unit: plain
+        ``release()`` raises for an ungranted request.  Cancelling an
+        already-granted request behaves like ``release()``.
+        """
+        if request in self._granted:
+            self._on_release(request)
+            return
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
     # -- internal protocol -----------------------------------------------------
 
     def _on_request(self, request: Request) -> None:

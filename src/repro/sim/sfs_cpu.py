@@ -47,10 +47,10 @@ class SfsTask:
     """A task moving through the SFS foreground/background queues."""
 
     __slots__ = ("work_total", "remaining", "served", "done", "label",
-                 "started_at", "arrived_at")
+                 "started_at", "arrived_at", "group_name", "aborted")
 
     def __init__(self, work: float, done: Event, label: str,
-                 arrived_at: float) -> None:
+                 arrived_at: float, group_name: str) -> None:
         self.work_total = work
         self.remaining = work
         self.served = 0.0
@@ -58,6 +58,8 @@ class SfsTask:
         self.label = label
         self.started_at: Optional[float] = None
         self.arrived_at = arrived_at
+        self.group_name = group_name
+        self.aborted = False
 
     def __repr__(self) -> str:
         return f"<SfsTask {self.label} remaining={self.remaining:.3f}>"
@@ -93,6 +95,8 @@ class SfsCpu:
         self._signal: Store[int] = Store(env)
         self._running: Set[SfsTask] = set()
         self._busy_core_ms = 0.0
+        #: Wake-up signals whose task was aborted out of the queues.
+        self._stale_signals = 0
         self._groups: Dict[str, CpuGroup] = {
             self.HOST_GROUP: CpuGroup(self.HOST_GROUP, cap=None)}
         self._task_sequence = 0
@@ -115,6 +119,46 @@ class SfsCpu:
         if self._groups.pop(name, None) is None:
             raise SimulationError(f"unknown CPU group {name!r}")
 
+    def has_group(self, name: str) -> bool:
+        return name in self._groups
+
+    def set_group_cap(self, name: str, cap: Optional[float]) -> None:
+        """Record a new cap (accepted, not enforced — see module doc).
+
+        SFS schedules function processes onto cores directly, so a cgroup
+        cap change has no effect on its dispatch order; the interface exists
+        so fault plans run unchanged under every CPU discipline.
+        """
+        if cap is not None and cap <= 0:
+            raise ValueError(f"group cap must be > 0, got {cap}")
+        if name not in self._groups:
+            raise SimulationError(f"unknown CPU group {name!r}")
+        self._groups[name].cap = cap
+
+    def abort_group_tasks(self, name: str) -> int:
+        """Drop every task of *name* without firing its done event.
+
+        Queued tasks are removed (their wake-up signals become stale and are
+        swallowed by the core loops); a task currently running its slice is
+        flagged and discarded when the slice ends.
+        """
+        if name not in self._groups:
+            raise SimulationError(f"unknown CPU group {name!r}")
+        dropped = 0
+        for queue_ in (self._foreground, self._background):
+            keep = [t for t in queue_ if t.group_name != name]
+            removed = len(queue_) - len(keep)
+            if removed:
+                queue_.clear()
+                queue_.extend(keep)
+                self._stale_signals += removed
+                dropped += removed
+        for task in self._running:
+            if task.group_name == name and not task.aborted:
+                task.aborted = True
+                dropped += 1
+        return dropped
+
     def submit(self, work: float, group: str = HOST_GROUP,
                max_share: float = 1.0, label: str = "") -> Event:
         """Enqueue *work* core-ms; the returned event fires on completion."""
@@ -130,7 +174,7 @@ class SfsCpu:
         self._task_sequence += 1
         task = SfsTask(work=work, done=done,
                        label=label or f"sfs-task-{self._task_sequence}",
-                       arrived_at=self.env.now)
+                       arrived_at=self.env.now, group_name=group)
         self._foreground.append(task)
         self._signal.put(1)
         return done
@@ -174,6 +218,10 @@ class SfsCpu:
         elif self._background:
             task = self._background.popleft()
             quantum = self._slice * self.background_slice_factor
+        elif self._stale_signals > 0:
+            # The signalled task was aborted out of the queue; swallow.
+            self._stale_signals -= 1
+            return None, 0.0
         else:
             raise SimulationError("SFS signalled with no queued task")
         return task, min(quantum, task.remaining)
@@ -182,6 +230,8 @@ class SfsCpu:
         while True:
             yield self._signal.get()
             task, quantum = self._pick()
+            if task is None:
+                continue
             if task.started_at is None:
                 task.started_at = self.env.now
             self._running.add(task)
@@ -190,6 +240,8 @@ class SfsCpu:
             task.remaining -= quantum
             task.served += quantum
             self._busy_core_ms += quantum
+            if task.aborted:
+                continue  # crashed mid-slice: discard without completing
             if task.remaining <= TIME_EPSILON:
                 task.done.succeed(self.env.now - task.arrived_at)
                 continue

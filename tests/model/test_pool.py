@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.errors import ContainerStateError
+from repro.common.errors import ContainerCrashed, ContainerStateError
 from repro.model.calibration import DEFAULT_CALIBRATION
 from repro.model.container import SimContainer
 from repro.model.function import FunctionKind, FunctionSpec
@@ -170,3 +170,50 @@ class TestKeepAliveExpiry:
         assert pool.idle_count() == 0
         env.run()  # pending expiry processes must be harmless no-ops
         assert pool.expired_total == 0
+
+
+class TestRejectedReleases:
+    """Regression: a crashed container must never re-enter the idle list.
+
+    Before the guard, releasing a crashed/stopped container parked it as
+    "warm" and the pool later handed it out to an invocation, which then
+    failed against a dead container.
+    """
+
+    def test_crashed_container_release_is_refused(self, env, machine):
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        container = started_container(env, machine, make_spec())
+        pool.register_started(container)
+        container.crash(ContainerCrashed("boom"))
+        env.run(until=env.now + 1.0)
+        assert pool.release(container) is False
+        assert pool.rejected_releases == 1
+        assert pool.metrics.counter("pool.rejected_releases").value == 1
+        assert pool.idle_count("f") == 0
+        assert pool.acquire("f") is None  # the corpse is never handed out
+
+    def test_stopped_container_release_is_refused(self, env, machine):
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        container = started_container(env, machine, make_spec())
+        pool.register_started(container)
+        container.stop()
+        assert pool.release(container) is False
+        assert pool.rejected_releases == 1
+        assert pool.idle_count("f") == 0
+
+    def test_healthy_release_still_accepted(self, env, machine):
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        container = started_container(env, machine, make_spec())
+        pool.register_started(container)
+        assert pool.release(container) is True
+        assert pool.rejected_releases == 0
+
+    def test_busy_container_release_still_raises(self, env, machine):
+        # The refusal path is only for dead containers; releasing one with
+        # live work remains a programming error.
+        pool = ContainerPool(env, keep_alive_ms=1000.0)
+        container = started_container(env, machine, make_spec())
+        container.active_invocations = 1
+        with pytest.raises(ContainerStateError):
+            pool.release(container)
+        assert pool.rejected_releases == 0
