@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run the simulator perf bench with the standard BENCH scenario.
+
+Thin wrapper over ``python -m repro bench`` so the benchmark directory has
+a single obvious entry point::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py
+    PYTHONPATH=src python benchmarks/perf_harness.py --invocations 5000 \\
+        --skip-legacy --out /tmp/bench.json
+
+The full default scenario (50k invocations, both engines, four schedulers)
+takes a few minutes; see docs/performance.md for reading the report.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -29,7 +29,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, TYPE_CHECKING
 
-from repro.baselines.base import CpuDiscipline, Scheduler
+from repro.baselines.base import (
+    SERIAL_DISPATCH_PLAN,
+    CpuDiscipline,
+    Scheduler,
+    run_dispatch_pipeline,
+)
 from repro.common.errors import (
     ColdStartError,
     ConfigurationError,
@@ -174,20 +179,11 @@ class KrakenScheduler(Scheduler):
 
     def _run_sub_batch(self, platform: "ServerlessPlatform",
                        sub_batch: List[Invocation]):
-        function = sub_batch[0].function
-        container = platform.try_acquire_warm(function)
-        yield platform.dispatch_work(len(sub_batch))
-        cold_start_ms = 0.0
-        if container is None:
-            yield platform.launch_work()
-            try:
-                container, cold_start_ms = yield from platform.cold_start(
-                    function, concurrency_limit=1, with_multiplexer=False)
-            except ColdStartError as error:
-                platform.fail_undispatched(sub_batch, error)
-                return
-        yield from self.run_on_container(
-            platform, container, sub_batch, cold_start_ms)
+        # Same serial-container plan as Vanilla, but the dispatch decision
+        # (and its platform CPU work) is paid once per sub-batch.
+        yield from run_dispatch_pipeline(
+            platform, sub_batch, SERIAL_DISPATCH_PLAN,
+            function=sub_batch[0].function)
 
     # -- EWMA mode ------------------------------------------------------------------
 

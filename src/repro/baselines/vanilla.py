@@ -19,8 +19,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.baselines.base import CpuDiscipline, Scheduler
-from repro.common.errors import ColdStartError
+from repro.baselines.base import (
+    SERIAL_DISPATCH_PLAN,
+    CpuDiscipline,
+    Scheduler,
+    run_dispatch_pipeline,
+)
 from repro.model.function import Invocation
 
 if TYPE_CHECKING:
@@ -48,23 +52,7 @@ class VanillaScheduler(Scheduler):
                 name=f"vanilla:{invocation.invocation_id}")
 
     def _handle(self, platform: "ServerlessPlatform", invocation: Invocation):
-        # Check the warm pool the instant the request arrives — the
-        # prototype's handler threads all race through this check, so a
-        # burst observes an empty pool and mass-cold-starts.
-        container = platform.try_acquire_warm(invocation.function)
-        yield platform.dispatch_work()
-        cold_start_ms = 0.0
-        if container is None:
-            # The launch decision (docker-py API marshalling) is platform
-            # CPU work; the provisioning itself is dockerd + kernel work
-            # contended with everything running on the host.
-            yield platform.launch_work()
-            try:
-                container, cold_start_ms = yield from platform.cold_start(
-                    invocation.function, concurrency_limit=1,
-                    with_multiplexer=False)
-            except ColdStartError as error:
-                platform.fail_undispatched([invocation], error)
-                return
-        yield from self.run_on_container(
-            platform, container, [invocation], cold_start_ms)
+        # A batch of one through the shared pipeline: warm-pool race,
+        # per-invocation dispatch + launch decisions, serial container.
+        yield from run_dispatch_pipeline(
+            platform, [invocation], SERIAL_DISPATCH_PLAN)

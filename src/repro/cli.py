@@ -13,6 +13,9 @@ Subcommands
                   (``--trace out.jsonl``) to per-stage latency tables.
 ``sample-azure``  write small sample files in the real Azure trace format.
 ``replay-azure``  replay real (or sample) Azure trace files.
+``bench``         measure simulator performance (incremental vs legacy
+                  CPU engine) on a large tiled scenario; write
+                  BENCH_sim.json.
 
 Experiment commands accept ``--trace PATH`` to record every invocation's
 span timeline (queued / cold-start / dispatched / executing / responding)
@@ -27,6 +30,7 @@ Examples::
     python -m repro trace --workload cpu --total 800 --out replay.csv
     python -m repro sample-azure --dir ./azure-sample
     python -m repro replay-azure --dir ./azure-sample --top 3
+    python -m repro bench --invocations 50000 --out BENCH_sim.json
 """
 
 from __future__ import annotations
@@ -255,6 +259,30 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchConfig, run_bench, write_report
+    config = BenchConfig(invocations=args.invocations,
+                         functions=args.functions,
+                         seed=args.seed, window_ms=args.window,
+                         tile_invocations=args.tile_invocations)
+    report = run_bench(config, skip_legacy=args.skip_legacy, log=print)
+    write_report(report, args.out)
+    headers = ["scheduler", "engine", "wall_s", "events/s", "inv/s",
+               "peak_rss_MB"]
+    rows = [[r["scheduler"], r["engine"], r["wall_clock_s"],
+             r["events_per_sec"], r["invocations_per_sec"],
+             r["peak_rss_mb"]] for r in report["runs"]]
+    print(render_table(headers, rows, title="Simulator performance"))
+    speedup = report["speedup"]
+    if speedup is not None:
+        pairs = ", ".join(f"{name} {ratio:g}x" for name, ratio
+                          in speedup["per_scheduler"].items())
+        print(f"Incremental-engine speedup: {pairs} "
+              f"(overall {speedup['overall_wall_clock']:g}x)")
+    print(f"Wrote {args.out}")
+    return 0
+
+
 def cmd_sample_azure(args: argparse.Namespace) -> int:
     invocations_path, durations_path = write_sample_files(
         args.dir, functions=args.functions, seed=args.seed)
@@ -363,6 +391,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduce an exported span trace (JSONL) to per-stage tables")
     summarize.add_argument("input", help="JSONL file written via --trace")
     summarize.set_defaults(func=cmd_trace_summarize)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure simulator performance on a large tiled scenario")
+    bench.add_argument("--invocations", type=int, default=50_000,
+                       help="total arrivals in the tiled scenario")
+    bench.add_argument("--functions", type=int, default=8,
+                       help="distinct fib-family functions")
+    bench.add_argument("--window", type=float, default=200.0,
+                       help="dispatch window in ms")
+    bench.add_argument("--tile-invocations", type=int, default=4000,
+                       help="arrivals per scenario minute (burst density)")
+    bench.add_argument("--out", default="BENCH_sim.json",
+                       help="report path (JSON)")
+    bench.add_argument("--skip-legacy", action="store_true",
+                       help="measure only the incremental engine")
+    add_common(bench)
+    bench.set_defaults(func=cmd_bench)
 
     sample = sub.add_parser("sample-azure",
                             help="write sample Azure-format trace files")

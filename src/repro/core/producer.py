@@ -13,14 +13,19 @@ The producer's three steps, straight from Fig. 7:
 With ``inline_parallel`` disabled (ablation), the group is executed as a
 serial in-container queue instead — the Kraken-style behaviour the paper
 contrasts against.
+
+Execution rides the shared dispatch pipeline
+(:func:`repro.baselines.base.run_dispatch_pipeline`); the producer's job is
+reduced to translating a :class:`~repro.core.mapper.FunctionGroup` into a
+:class:`~repro.baselines.base.DispatchPlan` (parallel expansion, resource
+multiplexer, per-group BATCH_STARTED tagging) and keeping its counters.
 """
 
 from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.common.errors import ColdStartError
-from repro.common.eventlog import EventKind
+from repro.baselines.base import DispatchPlan, run_dispatch_pipeline
 from repro.core.mapper import FunctionGroup
 
 if TYPE_CHECKING:
@@ -47,66 +52,44 @@ class InlineParallelProducer:
         """
         return None if self.inline_parallel else 1
 
+    def dispatch_plan(self, group: FunctionGroup) -> DispatchPlan:
+        """The shared-pipeline plan implementing this producer for *group*."""
+        return DispatchPlan(
+            concurrency_limit=self.concurrency_limit(group),
+            with_multiplexer=self.multiplex_resources,
+            acquire_on_miss=True,
+            early_return=self.early_return,
+            batch_event_function_id=group.function_id,
+            record_batch_size_metric=False)
+
+    def run_group(self, platform: "ServerlessPlatform", group: FunctionGroup):
+        """Generator: one dispatch/launch decision + execution for *group*.
+
+        The platform handled every request of the window (HTTP receive +
+        enqueue) but pays only ONE dispatch/launch decision per group —
+        the collapse that drives Fig. 11/12's scheduling-latency wins.
+        """
+        count = yield from run_dispatch_pipeline(
+            platform, list(group.invocations), self.dispatch_plan(group),
+            function=group.function)
+        self._account(count)
+
     def execute_group(self, platform: "ServerlessPlatform",
                       group: FunctionGroup, warm_container=None):
         """Generator: run one function group to completion (steps 2 + 3).
 
         ``warm_container`` lets the scheduler pass a container it already
         took from the keep-alive pool at decision time; otherwise one is
-        obtained here (warm hit or cold start).
+        obtained here (warm hit or cold start).  The decision CPU work is
+        assumed already paid by the caller.
         """
-        if warm_container is not None:
-            container, cold_start_ms = warm_container, 0.0
-        else:
-            try:
-                container, cold_start_ms = \
-                    yield from platform.acquire_container(
-                        group.function,
-                        concurrency_limit=self.concurrency_limit(group),
-                        with_multiplexer=self.multiplex_resources)
-            except ColdStartError as error:
-                platform.fail_undispatched(list(group.invocations), error)
-                return
-        now = platform.env.now
-        invocations = platform.begin_dispatch(
-            container, list(group.invocations), cold_start_ms)
-        if not invocations:
-            platform.release_container(container)
-            return
-        platform.event_log.record(now, EventKind.BATCH_STARTED,
-                                  container_id=container.container_id,
-                                  batch_size=len(invocations),
-                                  function_id=group.function_id)
-        platform.obs.tracer.container_event(
-            container.container_id, "batch-started", now,
-            batch_size=len(invocations), function_id=group.function_id)
-        if self.early_return:
-            # Future-work extension: each caller gets its response the
-            # moment its own invocation finishes.
-            processes = container.execute_invocations(invocations)
-            for invocation, process in zip(invocations, processes):
-                self._respond_on_completion(platform, invocation, process)
-            yield platform.env.all_of(processes)
-        else:
-            # Step 3 as published: the HTTP request returns only after ALL
-            # invocations of the function group have completed.
-            yield container.execute_batch(invocations)
-            now = platform.env.now
-            for invocation in invocations:
-                invocation.mark_responded(now)
-                platform.note_completed(invocation)
-        platform.release_container(container)
-        self.groups_executed += 1
-        self.invocations_executed += len(invocations)
+        count = yield from run_dispatch_pipeline(
+            platform, list(group.invocations), self.dispatch_plan(group),
+            function=group.function, warm_container=warm_container,
+            decision_work=False)
+        self._account(count)
 
-    @staticmethod
-    def _respond_on_completion(platform: "ServerlessPlatform",
-                               invocation, process) -> None:
-        """Arrange response + completion bookkeeping when *process* ends."""
-
-        def on_done(_event) -> None:
-            invocation.mark_responded(platform.env.now)
-            platform.note_completed(invocation)
-
-        assert process.callbacks is not None
-        process.callbacks.append(on_done)
+    def _account(self, count: int) -> None:
+        if count:
+            self.groups_executed += 1
+            self.invocations_executed += count

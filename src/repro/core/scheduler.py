@@ -62,14 +62,9 @@ class FaaSBatchScheduler(Scheduler):
                     name=f"faasbatch-group:{group.function_id}")
 
     def _run_group(self, platform: "ServerlessPlatform", group):
-        # The platform handled every request of the window (HTTP receive +
-        # enqueue), but makes only ONE dispatch/launch decision per group.
-        container = platform.try_acquire_warm(group.function)
-        yield platform.dispatch_work(group.size)
-        if container is None:
-            yield platform.launch_work()
-        yield from self.producer.execute_group(platform, group,
-                                               warm_container=container)
+        # One dispatch/launch decision per group; the producer drives the
+        # shared pipeline with its parallel-expansion plan.
+        yield from self.producer.run_group(platform, group)
 
     # -- introspection -------------------------------------------------------------
 

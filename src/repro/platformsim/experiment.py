@@ -41,7 +41,8 @@ def run_experiment(scheduler: "Scheduler",
                    obs: Optional[Observability] = None,
                    fault_plan: Optional[FaultPlan] = None,
                    resilience: Optional[ResiliencePolicy] = None,
-                   event_log: Optional[EventLog] = None
+                   event_log: Optional[EventLog] = None,
+                   cpu_engine: str = "incremental"
                    ) -> ExperimentResult:
     """Run *scheduler* over *trace* and return the measured result.
 
@@ -61,11 +62,15 @@ def run_experiment(scheduler: "Scheduler",
     an empty plan is bit-identical to no plan at all.  ``event_log``
     supplies the platform's decision log (construct it with
     ``enabled=True`` to capture the run's typed event stream).
+    ``cpu_engine`` selects the fair-share implementation ("incremental"
+    or the frozen pre-refactor "legacy"); both give identical results —
+    the knob exists for the perf bench and the equivalence tests.
     """
     if timeout_ms is None:
         timeout_ms = trace.end_ms + 2.0 * HOUR
     env = Environment()
-    cpu = build_cpu(env, scheduler.cpu_discipline, calibration.worker_cores)
+    cpu = build_cpu(env, scheduler.cpu_discipline, calibration.worker_cores,
+                    engine=cpu_engine)
     machine = Machine(env, cores=calibration.worker_cores,
                       memory_gb=calibration.worker_memory_gb,
                       cpu=cpu, strict_memory=strict_memory)
@@ -105,6 +110,7 @@ def run_experiment(scheduler: "Scheduler",
         multiplexer_entries=multiplexer_entries,
         samples=machine.samples(),
         completion_ms=env.now,
+        kernel_events=env.events_processed,
         trace=platform.obs.tracer,
         metrics=platform.obs.metrics)
 

@@ -36,6 +36,9 @@ class ExperimentResult:
     multiplexer_entries: int
     samples: List[ResourceSample]
     completion_ms: float
+    #: Live kernel events processed during the run (cancelled timers are
+    #: excluded); the perf bench reports events/sec from this.
+    kernel_events: int = 0
     #: Observability artefacts of the run.  ``trace`` holds completed span
     #: timelines when tracing was enabled (else an empty, disabled tracer);
     #: ``metrics`` is the platform's registry snapshot source.

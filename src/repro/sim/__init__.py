@@ -1,6 +1,13 @@
 """Discrete-event simulation substrate: kernel, primitives, CPU, memory."""
 
-from repro.sim.cpu import CpuGroup, CpuTask, FairShareCpu, waterfill
+from repro.sim.engine import (
+    CpuEngine,
+    CpuEngineBase,
+    CpuGroup,
+    CpuTask,
+    waterfill,
+)
+from repro.sim.fair_share import FairShareCpu
 from repro.sim.kernel import (
     AllOf,
     AnyOf,
@@ -9,7 +16,9 @@ from repro.sim.kernel import (
     Process,
     Timeout,
 )
+from repro.sim.legacy_cpu import LegacyFairShareCpu
 from repro.sim.machine import (
+    CPU_ENGINES,
     CpuDiscipline,
     CpuService,
     Machine,
@@ -23,7 +32,10 @@ from repro.sim.sfs_cpu import SfsCpu, SfsTask
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CPU_ENGINES",
     "CpuDiscipline",
+    "CpuEngine",
+    "CpuEngineBase",
     "CpuGroup",
     "build_cpu",
     "CpuService",
@@ -32,6 +44,7 @@ __all__ = [
     "Event",
     "FairShareCpu",
     "Gate",
+    "LegacyFairShareCpu",
     "Machine",
     "MemoryAccount",
     "MemorySample",

@@ -1,330 +1,24 @@
-"""Processor-sharing CPU model with two-level max-min fair allocation.
+"""Deprecated module location — the CPU engines moved (kept as a shim).
 
-This is the substrate that makes the paper's latency effects emerge:
+The fair-share CPU model now lives in :mod:`repro.sim.fair_share` (the
+incremental engine) on top of the shared substrate in
+:mod:`repro.sim.engine` (``CpuEngine`` protocol, ``CpuTask``/``CpuGroup``,
+``waterfill``); the pre-refactor engine is preserved in
+:mod:`repro.sim.legacy_cpu`.
 
-* The worker VM has ``cores`` physical cores.
-* Every running computation is a :class:`CpuTask` with a remaining amount of
-  *work* in core-milliseconds and a per-task cap (``max_share``, normally 1.0
-  because one thread can use at most one core).
-* Tasks belong to a :class:`CpuGroup` (a container, or the host group for
-  platform work).  A group can be capped (``cpuset_cpus`` / ``cpu_count`` in
-  the paper's prototype).
-* Capacity is divided by **two-level water-filling**: max-min fairness across
-  groups (each group's demand is the sum of its tasks' caps, bounded by the
-  group cap), then max-min fairness across the tasks inside each group.
-
-This approximates Linux CFS with cgroup cpusets closely enough to reproduce
-the paper's observations: e.g. when Vanilla launches hundreds of containers,
-platform scheduling work and cold-start work contend with function execution
-and *everything* slows down proportionally; whereas FaaSBatch's single
-container receives the same aggregate core share as hundreds of Monopoly
-containers would for the same work (Fig. 1's "Sharing ≈ Monopoly").
-
-The model is work-conserving: as long as total demand >= capacity, exactly
-``cores`` core-ms of work complete per millisecond.
+This module re-exports the public names so existing imports from
+``cluster/``, ``platformsim/`` and external examples keep working
+unchanged — ``FairShareCpu(env, cores)`` keeps its constructor signature
+and behavior (bit-identical schedules to the pre-refactor engine).
 """
 
-from __future__ import annotations
+from repro.sim.engine import CpuEngine, CpuGroup, CpuTask, waterfill
+from repro.sim.fair_share import FairShareCpu
 
-import math
-from typing import Dict, List, Optional
-
-from repro.common.errors import SimulationError
-from repro.common.units import TIME_EPSILON
-from repro.sim.kernel import Environment, Event
-
-
-class CpuTask:
-    """One unit of computation being serviced by the CPU."""
-
-    __slots__ = ("work_total", "remaining", "max_share", "group", "done",
-                 "rate", "started_at", "finished_at", "label")
-
-    def __init__(self, work: float, max_share: float, group: "CpuGroup",
-                 done: Event, started_at: float, label: str) -> None:
-        self.work_total = work
-        self.remaining = work
-        self.max_share = max_share
-        self.group = group
-        self.done = done
-        self.rate = 0.0
-        self.started_at = started_at
-        self.finished_at: Optional[float] = None
-        self.label = label
-
-    def __repr__(self) -> str:
-        return (f"<CpuTask {self.label} remaining={self.remaining:.3f} "
-                f"rate={self.rate:.3f}>")
-
-
-class CpuGroup:
-    """A set of tasks sharing a cap (a container, or the uncapped host)."""
-
-    __slots__ = ("name", "cap", "tasks")
-
-    def __init__(self, name: str, cap: Optional[float]) -> None:
-        if cap is not None and cap <= 0:
-            raise ValueError(f"group cap must be > 0, got {cap}")
-        self.name = name
-        self.cap = cap  # None = unbounded (host group)
-        # Insertion-ordered on purpose: CpuTask hashes by identity, so a
-        # set's iteration order would vary run-to-run and leak into float
-        # accumulation and same-instant completion order (nondeterminism).
-        self.tasks: Dict[CpuTask, None] = {}
-
-    @property
-    def demand(self) -> float:
-        """Aggregate core demand of this group's runnable tasks."""
-        total = sum(task.max_share for task in self.tasks)
-        if self.cap is not None:
-            total = min(total, self.cap)
-        return total
-
-    def __repr__(self) -> str:
-        return f"<CpuGroup {self.name} cap={self.cap} tasks={len(self.tasks)}>"
-
-
-def waterfill(capacity: float, demands: List[float]) -> List[float]:
-    """Max-min fair allocation of *capacity* across entities with caps.
-
-    Each entity i receives at most ``demands[i]``; leftover capacity is
-    shared equally among unsatisfied entities (classic progressive filling).
-    Returns the per-entity allocation; sums to min(capacity, sum(demands)).
-    """
-    n = len(demands)
-    allocation = [0.0] * n
-    if n == 0 or capacity <= 0:
-        return allocation
-    remaining = capacity
-    active = [i for i in range(n) if demands[i] > 0]
-    while active and remaining > TIME_EPSILON:
-        share = remaining / len(active)
-        bounded = [i for i in active if demands[i] - allocation[i] <= share]
-        if bounded:
-            for i in bounded:
-                grant = demands[i] - allocation[i]
-                allocation[i] = demands[i]
-                remaining -= grant
-            active = [i for i in active if i not in set(bounded)]
-        else:
-            for i in active:
-                allocation[i] += share
-            remaining = 0.0
-    return allocation
-
-
-class FairShareCpu:
-    """The two-level processor-sharing CPU of one worker machine.
-
-    Public operations:
-
-    * :meth:`create_group` / :meth:`remove_group` — container cgroups.
-    * :meth:`submit` — run ``work`` core-ms in a group; returns an event that
-      triggers when the work completes.
-    * :attr:`utilization` / :meth:`busy_core_ms` — accounting for the paper's
-      CPU-cost figures (13c / 14c).
-    """
-
-    HOST_GROUP = "host"
-
-    def __init__(self, env: Environment, cores: float) -> None:
-        if cores <= 0:
-            raise ValueError(f"cores must be > 0, got {cores}")
-        self.env = env
-        self.cores = float(cores)
-        self._groups: Dict[str, CpuGroup] = {
-            self.HOST_GROUP: CpuGroup(self.HOST_GROUP, cap=None)}
-        self._tasks: Dict[CpuTask, None] = {}
-        self._last_update = env.now
-        self._busy_core_ms = 0.0
-        self._wake_version = 0
-        self._task_sequence = 0
-
-    # -- groups ----------------------------------------------------------------
-
-    def create_group(self, name: str, cap: Optional[float]) -> CpuGroup:
-        """Create a capped group (one per container)."""
-        if name in self._groups:
-            raise SimulationError(f"CPU group {name!r} already exists")
-        if cap is not None:
-            cap = min(cap, self.cores)
-        group = CpuGroup(name, cap)
-        self._groups[name] = group
-        return group
-
-    def remove_group(self, name: str) -> None:
-        """Remove an (empty) group when its container is torn down."""
-        if name == self.HOST_GROUP:
-            raise SimulationError("cannot remove the host group")
-        group = self._groups.pop(name, None)
-        if group is None:
-            raise SimulationError(f"unknown CPU group {name!r}")
-        if group.tasks:
-            raise SimulationError(
-                f"CPU group {name!r} still has {len(group.tasks)} tasks")
-
-    def group(self, name: str) -> CpuGroup:
-        try:
-            return self._groups[name]
-        except KeyError:
-            raise SimulationError(f"unknown CPU group {name!r}") from None
-
-    def has_group(self, name: str) -> bool:
-        return name in self._groups
-
-    def set_group_cap(self, name: str, cap: Optional[float]) -> None:
-        """Re-cap *name* at runtime (the straggler-slowdown fault hook).
-
-        Settles elapsed work at the old rates first, then reallocates, so a
-        mid-flight cap change charges exactly the work done before it.
-        """
-        if cap is not None:
-            if cap <= 0:
-                raise ValueError(f"group cap must be > 0, got {cap}")
-            cap = min(cap, self.cores)
-        group = self.group(name)
-        self._settle_elapsed()
-        group.cap = cap
-        self._reallocate_and_arm()
-
-    def abort_group_tasks(self, name: str) -> int:
-        """Drop every runnable task of *name* without firing its done event.
-
-        Used by container-crash teardown: the processes waiting on those
-        events were interrupted (and detached from them), so the events must
-        *not* fire — the work simply vanishes.  Returns the number dropped.
-        """
-        group = self.group(name)
-        if not group.tasks:
-            return 0
-        self._settle_elapsed()
-        dropped = 0
-        for task in list(group.tasks):
-            self._tasks.pop(task, None)
-            group.tasks.pop(task, None)
-            task.rate = 0.0
-            dropped += 1
-        self._reallocate_and_arm()
-        return dropped
-
-    # -- work submission ---------------------------------------------------------
-
-    def submit(self, work: float, group: str = HOST_GROUP,
-               max_share: float = 1.0, label: str = "") -> Event:
-        """Execute *work* core-ms in *group*; the event fires on completion.
-
-        ``max_share`` caps how many cores this task can use at once (1.0 for
-        a single thread).  Zero work completes after a zero-delay event.
-        """
-        if work < 0:
-            raise ValueError(f"negative work: {work}")
-        if max_share <= 0:
-            raise ValueError(f"max_share must be > 0, got {max_share}")
-        done = self.env.event()
-        if work == 0.0:
-            done.succeed(0.0)
-            return done
-        self._settle_elapsed()
-        self._task_sequence += 1
-        task = CpuTask(work=work, max_share=max_share,
-                       group=self.group(group), done=done,
-                       started_at=self.env.now,
-                       label=label or f"task-{self._task_sequence}")
-        task.group.tasks[task] = None
-        self._tasks[task] = None
-        self._reallocate_and_arm()
-        return done
-
-    # -- accounting ----------------------------------------------------------------
-
-    @property
-    def active_tasks(self) -> int:
-        return len(self._tasks)
-
-    def busy_core_ms(self) -> float:
-        """Total core-milliseconds of work completed so far."""
-        self._settle_elapsed()
-        return self._busy_core_ms
-
-    def current_rate(self) -> float:
-        """Aggregate core usage right now (cores being consumed)."""
-        return sum(task.rate for task in self._tasks)
-
-    def utilization(self) -> float:
-        """Instantaneous utilization in [0, 1]."""
-        return self.current_rate() / self.cores
-
-    # -- internals ----------------------------------------------------------------
-
-    def _settle_elapsed(self) -> None:
-        """Deduct work done since the last update at the current rates."""
-        now = self.env.now
-        dt = now - self._last_update
-        if dt <= 0:
-            self._last_update = now
-            return
-        for task in self._tasks:
-            task.remaining -= task.rate * dt
-            self._busy_core_ms += task.rate * dt
-        self._last_update = now
-
-    def _time_resolution(self) -> float:
-        """Smallest representable clock advance at the current sim time.
-
-        At large clock values (hours of simulated milliseconds) a wake-up
-        delay below one ulp of ``now`` would not advance time at all and
-        the kernel would spin forever; any task whose time-to-finish is
-        below this resolution is complete for all observable purposes.
-        """
-        return max(TIME_EPSILON, 4.0 * math.ulp(self.env.now))
-
-    def _reallocate_and_arm(self) -> None:
-        """Recompute rates, complete finished tasks, arm the next wake-up."""
-        resolution = self._time_resolution()
-        finished = [t for t in self._tasks
-                    if t.remaining <= TIME_EPSILON
-                    or (t.rate > 0.0 and t.remaining / t.rate <= resolution)]
-        for task in finished:
-            self._tasks.pop(task, None)
-            task.group.tasks.pop(task, None)
-            task.rate = 0.0
-            task.remaining = 0.0
-            task.finished_at = self.env.now
-            task.done.succeed(self.env.now - task.started_at)
-        self._recompute_rates()
-        self._arm_wakeup()
-
-    def _recompute_rates(self) -> None:
-        groups = [g for g in self._groups.values() if g.tasks]
-        demands = [g.demand for g in groups]
-        group_alloc = waterfill(self.cores, demands)
-        for group, alloc in zip(groups, group_alloc):
-            tasks = sorted(group.tasks, key=lambda t: t.label)
-            task_alloc = waterfill(alloc, [t.max_share for t in tasks])
-            for task, rate in zip(tasks, task_alloc):
-                task.rate = rate
-
-    def _arm_wakeup(self) -> None:
-        self._wake_version += 1
-        version = self._wake_version
-        horizon = math.inf
-        for task in self._tasks:
-            if task.rate > 0:
-                horizon = min(horizon, task.remaining / task.rate)
-        if math.isinf(horizon):
-            if self._tasks and all(t.rate <= 0 for t in self._tasks):
-                raise SimulationError(
-                    "CPU starvation: runnable tasks but zero allocation")
-            return
-        # Never arm below the clock's resolution: a delay smaller than one
-        # ulp of `now` would not advance time (see _time_resolution).
-        horizon = max(horizon, self._time_resolution())
-        timeout = self.env.timeout(horizon)
-        assert timeout.callbacks is not None
-        timeout.callbacks.append(lambda _ev: self._on_wakeup(version))
-
-    def _on_wakeup(self, version: int) -> None:
-        if version != self._wake_version:
-            return  # superseded by a newer allocation
-        self._settle_elapsed()
-        self._reallocate_and_arm()
+__all__ = [
+    "CpuEngine",
+    "CpuGroup",
+    "CpuTask",
+    "FairShareCpu",
+    "waterfill",
+]

@@ -1,0 +1,262 @@
+"""CPU-engine substrate shared by every CPU scheduling discipline.
+
+A worker machine's CPU is modeled by a *CPU engine*: a service that accepts
+units of work (:class:`CpuTask`) grouped into container cgroups
+(:class:`CpuGroup`) and decides how fast each one runs.  The repo ships
+three engines with one interface (:class:`CpuEngine`):
+
+* :class:`repro.sim.fair_share.FairShareCpu` — two-level max-min fair
+  processor sharing with incremental reallocation (the default).
+* :class:`repro.sim.sfs_cpu.SfsCpu` — the SFS user-space discipline
+  (per-core adaptive time slices).
+* :class:`repro.sim.legacy_cpu.LegacyFairShareCpu` — the pre-refactor
+  fair-share engine, kept verbatim as the perf-bench baseline and the
+  reference implementation for equivalence tests.
+
+:class:`CpuEngineBase` holds the scaffolding every engine repeats —
+group bookkeeping, validation, utilization accounting — so concrete
+engines only implement their scheduling policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.common.errors import SimulationError
+from repro.common.units import TIME_EPSILON
+from repro.sim.kernel import Environment, Event
+
+
+class CpuTask:
+    """One unit of computation being serviced by the CPU."""
+
+    __slots__ = ("work_total", "remaining", "max_share", "group", "done",
+                 "rate", "started_at", "finished_at", "label")
+
+    def __init__(self, work: float, max_share: float, group: "CpuGroup",
+                 done: Event, started_at: float, label: str) -> None:
+        self.work_total = work
+        self.remaining = work
+        self.max_share = max_share
+        self.group = group
+        self.done = done
+        self.rate = 0.0
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.label = label
+
+    def __repr__(self) -> str:
+        return (f"<CpuTask {self.label} remaining={self.remaining:.3f} "
+                f"rate={self.rate:.3f}>")
+
+
+class CpuGroup:
+    """A set of tasks sharing a cap (a container, or the uncapped host).
+
+    The trailing underscore-prefixed slots are caches owned by the
+    incremental fair-share engine (invalidated on any membership, cap or
+    rate change); other engines simply never read them.
+    """
+
+    __slots__ = ("name", "cap", "tasks", "_seq",
+                 "_demand_cache", "_alloc_cache", "_sorted_cache",
+                 "_shares_cache", "_shares_sum", "_uniform_share",
+                 "_ttf_cache", "_min_rate_cache", "_ttf_epoch")
+
+    def __init__(self, name: str, cap: Optional[float]) -> None:
+        if cap is not None and cap <= 0:
+            raise ValueError(f"group cap must be > 0, got {cap}")
+        self.name = name
+        self.cap = cap  # None = unbounded (host group)
+        # Insertion-ordered on purpose: CpuTask hashes by identity, so a
+        # set's iteration order would vary run-to-run and leak into float
+        # accumulation and same-instant completion order (nondeterminism).
+        self.tasks: Dict[CpuTask, None] = {}
+        #: Creation rank within the owning engine; lets the incremental
+        #: engine visit its *runnable* groups in creation order (the order
+        #: the group-level waterfill is float-sensitive to) without
+        #: scanning every group ever created.
+        self._seq = 0
+        self._demand_cache: Optional[float] = None
+        self._alloc_cache: Optional[float] = None
+        self._sorted_cache: Optional[List[CpuTask]] = None
+        self._shares_cache: Optional[List[float]] = None
+        self._shares_sum = 0.0
+        self._uniform_share: Optional[float] = None
+        self._ttf_cache: Optional[float] = None
+        self._min_rate_cache: float = 0.0
+        self._ttf_epoch = -1
+
+    @property
+    def demand(self) -> float:
+        """Aggregate core demand of this group's runnable tasks."""
+        total = sum(task.max_share for task in self.tasks)
+        if self.cap is not None:
+            total = min(total, self.cap)
+        return total
+
+    def __repr__(self) -> str:
+        return f"<CpuGroup {self.name} cap={self.cap} tasks={len(self.tasks)}>"
+
+
+def waterfill(capacity: float, demands: List[float]) -> List[float]:
+    """Max-min fair allocation of *capacity* across entities with caps.
+
+    Each entity i receives at most ``demands[i]``; leftover capacity is
+    shared equally among unsatisfied entities (classic progressive filling).
+    Returns the per-entity allocation; sums to min(capacity, sum(demands)).
+    """
+    n = len(demands)
+    allocation = [0.0] * n
+    if n == 0 or capacity <= 0:
+        return allocation
+    if capacity > TIME_EPSILON and sum(demands) <= capacity:
+        # Under-subscribed: every entity is granted exactly its demand (the
+        # general loop bounds each entity with a grant of ``demands[i]``),
+        # so the result is the demand vector itself.
+        return list(demands)
+    first = demands[0]
+    if first > 0.0 and all(d == first for d in demands):
+        # Uniform demands (the common case: n tasks of max_share 1.0)
+        # resolve in one round; the results are float-identical to the
+        # general loop below (same grant/equal-split expressions).
+        if capacity <= TIME_EPSILON:
+            return allocation
+        share = capacity / n
+        if first <= share:
+            return [first] * n
+        return [share] * n
+    remaining = capacity
+    active = [i for i in range(n) if demands[i] > 0]
+    while active and remaining > TIME_EPSILON:
+        share = remaining / len(active)
+        bounded = [i for i in active if demands[i] - allocation[i] <= share]
+        if bounded:
+            bounded_set = set(bounded)
+            for i in bounded:
+                grant = demands[i] - allocation[i]
+                allocation[i] = demands[i]
+                remaining -= grant
+            active = [i for i in active if i not in bounded_set]
+        else:
+            for i in active:
+                allocation[i] += share
+            remaining = 0.0
+    return allocation
+
+
+@runtime_checkable
+class CpuEngine(Protocol):
+    """The interface a worker machine requires of its CPU service.
+
+    All three engines (fair-share, SFS, legacy fair-share) satisfy it;
+    :func:`repro.sim.machine.build_cpu` returns one.
+    """
+
+    HOST_GROUP: str
+    env: Environment
+    cores: float
+
+    def create_group(self, name: str, cap: Optional[float]) -> CpuGroup: ...
+
+    def remove_group(self, name: str) -> None: ...
+
+    def group(self, name: str) -> CpuGroup: ...
+
+    def has_group(self, name: str) -> bool: ...
+
+    def set_group_cap(self, name: str, cap: Optional[float]) -> None: ...
+
+    def abort_group_tasks(self, name: str) -> int: ...
+
+    def submit(self, work: float, group: str = ...,
+               max_share: float = ..., label: str = ...) -> Event: ...
+
+    @property
+    def active_tasks(self) -> int: ...
+
+    def busy_core_ms(self) -> float: ...
+
+    def current_rate(self) -> float: ...
+
+    def utilization(self) -> float: ...
+
+
+class CpuEngineBase:
+    """Group bookkeeping and accounting shared by the concrete engines.
+
+    Subclasses implement the scheduling policy (``submit`` and friends);
+    this base owns the group registry, the validation rules and the
+    utilization arithmetic that were previously duplicated per engine.
+    """
+
+    HOST_GROUP = "host"
+
+    def __init__(self, env: Environment, cores: float) -> None:
+        self.env = env
+        self.cores = cores
+        self._groups: Dict[str, CpuGroup] = {
+            self.HOST_GROUP: CpuGroup(self.HOST_GROUP, cap=None)}
+        self._group_sequence = 0  # the host group holds rank 0
+        self._task_sequence = 0
+        self._busy_core_ms = 0.0
+
+    # -- groups ----------------------------------------------------------------
+
+    def _clamp_cap(self, cap: float) -> float:
+        """Bound a non-None group cap; identity unless a subclass overrides."""
+        return cap
+
+    def create_group(self, name: str, cap: Optional[float]) -> CpuGroup:
+        """Create a capped group (one per container)."""
+        if name in self._groups:
+            raise SimulationError(f"CPU group {name!r} already exists")
+        if cap is not None:
+            cap = self._clamp_cap(cap)
+        group = CpuGroup(name, cap)
+        self._group_sequence += 1
+        group._seq = self._group_sequence
+        self._groups[name] = group
+        return group
+
+    def remove_group(self, name: str) -> None:
+        """Remove an (empty) group when its container is torn down."""
+        if name == self.HOST_GROUP:
+            raise SimulationError("cannot remove the host group")
+        group = self._groups.pop(name, None)
+        if group is None:
+            raise SimulationError(f"unknown CPU group {name!r}")
+        if group.tasks:
+            raise SimulationError(
+                f"CPU group {name!r} still has {len(group.tasks)} tasks")
+
+    def group(self, name: str) -> CpuGroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise SimulationError(f"unknown CPU group {name!r}") from None
+
+    def has_group(self, name: str) -> bool:
+        return name in self._groups
+
+    # -- shared validation / helpers --------------------------------------------
+
+    @staticmethod
+    def _validate_work(work: float) -> None:
+        if work < 0:
+            raise ValueError(f"negative work: {work}")
+
+    def _completed_event(self) -> Event:
+        """A zero-work submission: completes via a zero-delay event."""
+        done = self.env.event()
+        done.succeed(0.0)
+        return done
+
+    # -- accounting --------------------------------------------------------------
+
+    def current_rate(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def utilization(self) -> float:
+        """Instantaneous utilization in [0, 1]."""
+        return self.current_rate() / self.cores

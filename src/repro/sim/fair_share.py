@@ -1,0 +1,533 @@
+"""Incremental two-level max-min fair (water-filling) CPU engine.
+
+This is the substrate that makes the paper's latency effects emerge:
+
+* The worker VM has ``cores`` physical cores.
+* Every running computation is a :class:`CpuTask` with a remaining amount of
+  *work* in core-milliseconds and a per-task cap (``max_share``, normally 1.0
+  because one thread can use at most one core).
+* Tasks belong to a :class:`CpuGroup` (a container, or the host group for
+  platform work).  A group can be capped (``cpuset_cpus`` / ``cpu_count`` in
+  the paper's prototype).
+* Capacity is divided by **two-level water-filling**: max-min fairness across
+  groups (each group's demand is the sum of its tasks' caps, bounded by the
+  group cap), then max-min fairness across the tasks inside each group.
+
+This approximates Linux CFS with cgroup cpusets closely enough to reproduce
+the paper's observations: e.g. when Vanilla launches hundreds of containers,
+platform scheduling work and cold-start work contend with function execution
+and *everything* slows down proportionally; whereas FaaSBatch's single
+container receives the same aggregate core share as hundreds of Monopoly
+containers would for the same work (Fig. 1's "Sharing ≈ Monopoly").
+
+The model is work-conserving: as long as total demand >= capacity, exactly
+``cores`` core-ms of work complete per millisecond.
+
+Incremental reallocation
+------------------------
+The pre-refactor engine (kept verbatim in :mod:`repro.sim.legacy_cpu`)
+re-sorted and re-waterfilled *every* group's tasks on *every* submit and
+wake-up — O(total tasks) per event.  This engine produces bit-identical
+schedules with three structural savings:
+
+1. **Dirty-group tracking.**  Group-level water-filling is cheap (one float
+   per group) and always recomputed, but the task-level sort + waterfill
+   inside a group is skipped whenever the group's membership is unchanged
+   *and* its group-level allocation came out exactly equal — ``waterfill``
+   is a deterministic pure function, so the cached task rates are the very
+   floats a recompute would produce.
+2. **Coalesced reallocation.**  The K same-timestamp submits produced by a
+   batch expansion each mark their group dirty and schedule a single
+   *urgent flush* event at the current instant (``Environment.defer``).
+   The kernel guarantees the flush runs before the clock advances and
+   before any normal-priority event at that instant, so one reallocation
+   pass replaces K — and nothing can observe the not-yet-filled rates
+   (synchronous readers go through :meth:`_flush_if_pending`).
+3. **Lazy wake-up timers.**  Re-arming cancels the superseded timer
+   (:meth:`repro.sim.kernel.Timeout.cancel`) instead of leaving it to fire
+   as a stale no-op, keeping the event heap proportional to live work.
+4. **Runnable-group index.**  Keep-alive containers accumulate thousands
+   of empty groups over a run; reallocation and wake-up arming visit only
+   the non-empty ones (tracked incrementally, iterated in creation order
+   because the group-level waterfill's float results are order-sensitive).
+
+The finished-task scan is also elided when provably empty, two ways:
+
+* ``_needs_scan``: rates only ever *decrease* between scans on the submit
+  path (adding demand never raises a pre-existing task's rate), so a task
+  that survived the last scan cannot have crossed the completion threshold
+  until work is actually settled (``dt > 0``) or a
+  completion/cap-change/abort frees capacity.
+* Armed horizon: every rate change immediately re-arms the wake-up timer,
+  so rates are constant between armings and each task's time-to-finish
+  shrinks exactly with elapsed time.  The arming snapshots the minimum
+  time-to-finish; until elapsed time approaches it (minus a slack that
+  dominates the predicate thresholds and float drift) the scan cannot find
+  anything.  The wake-up itself fires exactly at that horizon, so real
+  completions always get a full scan.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.common.errors import SimulationError
+from repro.common.units import TIME_EPSILON
+from repro.sim.engine import CpuEngineBase, CpuGroup, CpuTask, waterfill
+from repro.sim.kernel import Environment, Event, Timeout
+
+
+def _by_label(task: CpuTask) -> str:
+    return task.label
+
+
+class FairShareCpu(CpuEngineBase):
+    """The two-level processor-sharing CPU of one worker machine.
+
+    Public operations:
+
+    * :meth:`create_group` / :meth:`remove_group` — container cgroups.
+    * :meth:`submit` — run ``work`` core-ms in a group; returns an event that
+      triggers when the work completes.
+    * :attr:`utilization` / :meth:`busy_core_ms` — accounting for the paper's
+      CPU-cost figures (13c / 14c).
+
+    Scheduling decisions are bit-identical to the pre-refactor engine
+    (:class:`repro.sim.legacy_cpu.LegacyFairShareCpu`); see the module
+    docstring for how reallocation work is elided without changing them.
+    """
+
+    def __init__(self, env: Environment, cores: float) -> None:
+        if cores <= 0:
+            raise ValueError(f"cores must be > 0, got {cores}")
+        super().__init__(env, float(cores))
+        self._tasks: Dict[CpuTask, None] = {}
+        self._last_update = env.now
+        self._wake_version = 0
+        self._wake_timer: Optional[Timeout] = None
+        #: Groups whose membership/cap changed since the last rate recompute.
+        self._dirty: Set[CpuGroup] = set()
+        #: Runnable (non-empty) groups in creation order — the only groups
+        #: reallocation and wake-up arming ever need to visit.  Keep-alive
+        #: containers leave thousands of *empty* groups in ``_groups``;
+        #: scanning them per event is the legacy engine's other O(all
+        #: groups) cost.
+        self._active: List[CpuGroup] = []
+        self._active_set: Set[CpuGroup] = set()
+        #: True while a coalescing flush event is scheduled at `now`.
+        self._flush_scheduled = False
+        #: Invalidates in-flight flush events superseded by a full realloc.
+        self._flush_token = 0
+        #: True when the next submit must run the finished-task scan (work
+        #: was settled, or rates may have risen since the last scan).
+        self._needs_scan = True
+        #: Bumped on every dt>0 settle; versions the per-group ttf caches.
+        self._settle_epoch = 0
+        #: Snapshot of (time, min time-to-finish, min positive rate) taken
+        #: every time the wake-up is armed; lets the finished-task scan be
+        #: elided while provably empty (see _complete_finished).
+        self._armed_at = env.now
+        self._armed_ttf = -math.inf
+        self._armed_min_rate = math.inf
+
+    # -- groups ----------------------------------------------------------------
+
+    def _clamp_cap(self, cap: float) -> float:
+        return min(cap, self.cores)
+
+    def set_group_cap(self, name: str, cap: Optional[float]) -> None:
+        """Re-cap *name* at runtime (the straggler-slowdown fault hook).
+
+        Settles elapsed work at the old rates first, then reallocates, so a
+        mid-flight cap change charges exactly the work done before it.
+        """
+        if cap is not None:
+            if cap <= 0:
+                raise ValueError(f"group cap must be > 0, got {cap}")
+            cap = min(cap, self.cores)
+        group = self.group(name)
+        self._settle_elapsed()
+        group.cap = cap
+        self._invalidate_group(group)
+        # Raising a cap can raise rates, so the next scan cannot be elided.
+        self._reallocate_and_arm(raises_rates=True)
+
+    def abort_group_tasks(self, name: str) -> int:
+        """Drop every runnable task of *name* without firing its done event.
+
+        Used by container-crash teardown: the processes waiting on those
+        events were interrupted (and detached from them), so the events must
+        *not* fire — the work simply vanishes.  Returns the number dropped.
+        """
+        group = self.group(name)
+        if not group.tasks:
+            return 0
+        self._settle_elapsed()
+        dropped = 0
+        for task in list(group.tasks):
+            self._tasks.pop(task, None)
+            group.tasks.pop(task, None)
+            task.rate = 0.0
+            dropped += 1
+        self._invalidate_group(group)
+        # Freed capacity can raise surviving rates: keep the scan armed.
+        self._reallocate_and_arm(raises_rates=True)
+        return dropped
+
+    # -- work submission ---------------------------------------------------------
+
+    def submit(self, work: float, group: str = CpuEngineBase.HOST_GROUP,
+               max_share: float = 1.0, label: str = "") -> Event:
+        """Execute *work* core-ms in *group*; the event fires on completion.
+
+        ``max_share`` caps how many cores this task can use at once (1.0 for
+        a single thread).  Zero work completes after a zero-delay event.
+        """
+        self._validate_work(work)
+        if max_share <= 0:
+            raise ValueError(f"max_share must be > 0, got {max_share}")
+        if work == 0.0:
+            return self._completed_event()
+        self._settle_elapsed()
+        self._task_sequence += 1
+        task = CpuTask(work=work, max_share=max_share,
+                       group=self.group(group), done=self.env.event(),
+                       started_at=self.env.now,
+                       label=label or f"task-{self._task_sequence}")
+        task.group.tasks[task] = None
+        self._tasks[task] = None
+        self._invalidate_group(task.group)
+        if self._needs_scan or work <= TIME_EPSILON:
+            # The scan may complete tasks (or this sub-epsilon one): run the
+            # full reallocation eagerly, exactly like the legacy engine.
+            # A sub-epsilon task postdates the armed horizon, so the scan
+            # that must complete it cannot be elided.
+            self._reallocate_and_arm(force_scan=work <= TIME_EPSILON)
+        else:
+            # Fast path: the scan is provably empty and rates only fall, so
+            # defer one coalesced recompute to the end of this instant.
+            self._schedule_flush()
+        return task.done
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def active_tasks(self) -> int:
+        return len(self._tasks)
+
+    def busy_core_ms(self) -> float:
+        """Total core-milliseconds of work completed so far."""
+        self._settle_elapsed()
+        return self._busy_core_ms
+
+    def current_rate(self) -> float:
+        """Aggregate core usage right now (cores being consumed)."""
+        self._flush_if_pending()
+        return sum(task.rate for task in self._tasks)
+
+    def utilization(self) -> float:
+        """Instantaneous utilization in [0, 1]."""
+        return self.current_rate() / self.cores
+
+    # -- internals ----------------------------------------------------------------
+
+    def _settle_elapsed(self) -> None:
+        """Deduct work done since the last update at the current rates."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt <= 0:
+            self._last_update = now
+            return
+        busy = self._busy_core_ms
+        for task in self._tasks:
+            step = task.rate * dt
+            task.remaining -= step
+            busy += step
+        self._busy_core_ms = busy
+        self._last_update = now
+        # Remaining-work changed: finished-task scans and cached per-group
+        # time-to-finish minima are stale from here on.
+        self._needs_scan = True
+        self._settle_epoch += 1
+
+    def _invalidate_group(self, group: CpuGroup) -> None:
+        group._demand_cache = None
+        group._sorted_cache = None
+        group._ttf_cache = None
+        self._dirty.add(group)
+        # Called on every membership change, so it also maintains the
+        # runnable-group index (sorted by creation rank to preserve the
+        # legacy engine's float-sensitive waterfill order).
+        if group.tasks:
+            if group not in self._active_set:
+                self._active_set.add(group)
+                bisect.insort(self._active, group,
+                              key=lambda g: g._seq)
+        elif group in self._active_set:
+            self._active_set.discard(group)
+            self._active.remove(group)
+
+    def _time_resolution(self) -> float:
+        """Smallest representable clock advance at the current sim time.
+
+        At large clock values (hours of simulated milliseconds) a wake-up
+        delay below one ulp of ``now`` would not advance time at all and
+        the kernel would spin forever; any task whose time-to-finish is
+        below this resolution is complete for all observable purposes.
+        """
+        return max(TIME_EPSILON, 4.0 * math.ulp(self.env.now))
+
+    def _schedule_flush(self) -> None:
+        """Arrange one reallocation at the end of the current instant."""
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        token = self._flush_token
+        self.env.defer(lambda: self._on_flush(token))
+
+    def _on_flush(self, token: int) -> None:
+        if token != self._flush_token:
+            return  # superseded by a full reallocation in the meantime
+        self._flush_now()
+
+    def _flush_if_pending(self) -> None:
+        """Recompute rates immediately for a synchronous observer."""
+        if self._flush_scheduled:
+            self._flush_now()
+
+    def _flush_now(self) -> None:
+        self._flush_token += 1
+        self._flush_scheduled = False
+        self._recompute_rates()
+        self._arm_wakeup()
+
+    def _reallocate_and_arm(self, raises_rates: bool = False,
+                            force_scan: bool = False) -> None:
+        """Scan for finished tasks, recompute rates, arm the next wake-up.
+
+        ``raises_rates`` marks triggers (cap raise, abort) after which task
+        rates may *increase*, so the elided-scan invariant does not hold and
+        the next submit must scan again.  ``force_scan`` disables the
+        armed-horizon scan elision (needed when a task was added that the
+        armed snapshot does not cover).
+        """
+        self._flush_token += 1  # absorb any pending coalesced flush
+        self._flush_scheduled = False
+        finished = self._complete_finished(force=force_scan)
+        self._recompute_rates()
+        self._arm_wakeup()
+        # Completions free capacity (rates may rise): keep scanning until a
+        # scan comes up empty after a rates-only-fall stretch.
+        self._needs_scan = bool(finished) or raises_rates
+
+    def _complete_finished(self, force: bool = False) -> List[CpuTask]:
+        if not force:
+            # Rates are constant between wake-up armings (every rate change
+            # immediately re-arms), so each task's time-to-finish shrinks
+            # exactly with elapsed time.  Until the armed minimum is within
+            # ``slack`` of being reached, no surviving task can satisfy the
+            # completion predicate below and the O(tasks) scan is provably
+            # empty.  ``slack`` dominates both predicate thresholds — the
+            # clock resolution and the epsilon-remaining band (whose width
+            # in elapsed time is TIME_EPSILON / slowest rate) — plus an
+            # absolute margin orders of magnitude above float drift.
+            elapsed = self.env.now - self._armed_at
+            slack = max(self._time_resolution(),
+                        TIME_EPSILON / self._armed_min_rate) + 1e-6
+            if elapsed < self._armed_ttf - slack:
+                return []
+        resolution = self._time_resolution()
+        finished = [t for t in self._tasks
+                    if t.remaining <= TIME_EPSILON
+                    or (t.rate > 0.0 and t.remaining / t.rate <= resolution)]
+        for task in finished:
+            self._tasks.pop(task, None)
+            task.group.tasks.pop(task, None)
+            self._invalidate_group(task.group)
+            task.rate = 0.0
+            task.remaining = 0.0
+            task.finished_at = self.env.now
+            task.done.succeed(self.env.now - task.started_at)
+        return finished
+
+    def _recompute_rates(self) -> None:
+        # Group-level water-filling always runs (one float per group, and
+        # float-identical allocations require the full demand vector in the
+        # groups' original creation order); the expensive per-group task
+        # sort + waterfill only runs for groups that changed.
+        dirty = self._dirty
+        groups = self._active  # non-empty groups, creation order
+        demands: List[float] = []
+        uniform = True
+        first_demand = 0.0
+        for group in groups:
+            demand = group._demand_cache
+            if demand is None:
+                demand = group.demand
+                group._demand_cache = demand
+            if not demands:
+                first_demand = demand
+            elif demand != first_demand:
+                uniform = False
+            demands.append(demand)
+        cores = self.cores
+        if uniform and demands and first_demand > 0.0 \
+                and cores > TIME_EPSILON:
+            # At saturation the demand vector is usually uniform (one
+            # 1.0-demand group per container).  Uniformity was tracked for
+            # free while building the vector, so replicate waterfill's
+            # under-subscribed and uniform branches here — byte-identical
+            # expressions — without its extra O(groups) uniformity pass.
+            if sum(demands) <= cores:
+                group_alloc = demands  # granted exactly (read-only alias)
+            else:
+                share = cores / len(demands)
+                if first_demand <= share:
+                    group_alloc = [first_demand] * len(demands)
+                else:
+                    group_alloc = [share] * len(demands)
+        else:
+            group_alloc = waterfill(cores, demands)
+        epoch = self._settle_epoch
+        for group, alloc in zip(groups, group_alloc):
+            if group not in dirty and alloc == group._alloc_cache:
+                continue  # same inputs ⇒ waterfill would return the same rates
+            if len(group.tasks) == 1:
+                # One task (every Vanilla/Kraken container): the whole
+                # sort + waterfill collapses to ``waterfill(alloc, [d])``
+                # evaluated by hand — under-subscribed grants d, the
+                # over-subscribed single-entity share is alloc itself.
+                (task,) = group.tasks
+                d = task.max_share
+                if alloc > TIME_EPSILON:
+                    rate = d if d <= alloc else alloc
+                else:
+                    rate = 0.0
+                task.rate = rate
+                if rate > 0.0:
+                    ttf = task.remaining / rate
+                    group._min_rate_cache = rate
+                else:
+                    ttf = math.inf
+                    group._min_rate_cache = math.inf
+                group._alloc_cache = alloc
+                group._ttf_cache = ttf
+                group._ttf_epoch = epoch
+                continue
+            tasks = group._sorted_cache
+            if tasks is None:
+                # Rebuild the membership-keyed caches together: the task
+                # order, their shares vector, its sum, and (when the shares
+                # are uniform-positive, e.g. the host group's 1.0-share
+                # cold-start tasks) the common share — so repeat recomputes
+                # with a changed alloc skip waterfill's O(tasks) scans.
+                tasks = sorted(group.tasks, key=_by_label)
+                group._sorted_cache = tasks
+                shares = [t.max_share for t in tasks]
+                group._shares_cache = shares
+                group._shares_sum = sum(shares)
+                first_share = shares[0]
+                if first_share > 0.0 \
+                        and all(s == first_share for s in shares):
+                    group._uniform_share = first_share
+                else:
+                    group._uniform_share = None
+            else:
+                shares = group._shares_cache
+            common = group._uniform_share
+            if common is None:
+                task_alloc = waterfill(alloc, shares)
+            elif alloc <= 0:
+                task_alloc = [0.0] * len(shares)
+            elif alloc > TIME_EPSILON and group._shares_sum <= alloc:
+                task_alloc = shares  # everyone granted (read-only alias)
+            elif alloc <= TIME_EPSILON:
+                task_alloc = [0.0] * len(shares)
+            else:
+                # waterfill's uniform over-subscribed branch, verbatim.
+                share = alloc / len(shares)
+                if common <= share:
+                    task_alloc = [common] * len(shares)
+                else:
+                    task_alloc = [share] * len(shares)
+            # Fused min-time-to-finish: the rates are final for this
+            # settle epoch, so computing the group's wake-up horizon here
+            # saves _arm_wakeup a second pass over the same tasks (min is
+            # order-independent, so the cached value is exact).
+            ttf = math.inf
+            slowest = math.inf
+            for task, rate in zip(tasks, task_alloc):
+                task.rate = rate
+                if rate > 0.0:
+                    if rate < slowest:
+                        slowest = rate
+                    candidate = task.remaining / rate
+                    if candidate < ttf:
+                        ttf = candidate
+            group._alloc_cache = alloc
+            group._ttf_cache = ttf
+            group._min_rate_cache = slowest
+            group._ttf_epoch = epoch
+        dirty.clear()
+
+    def _arm_wakeup(self) -> None:
+        self._wake_version += 1
+        version = self._wake_version
+        epoch = self._settle_epoch
+        horizon = math.inf
+        min_rate = math.inf
+        for group in self._active:
+            if group._ttf_epoch != epoch:
+                ttf = math.inf
+                slowest = math.inf
+                for task in group.tasks:
+                    rate = task.rate
+                    if rate > 0:
+                        if rate < slowest:
+                            slowest = rate
+                        candidate = task.remaining / rate
+                        if candidate < ttf:
+                            ttf = candidate
+                group._ttf_cache = ttf
+                group._min_rate_cache = slowest
+                group._ttf_epoch = epoch
+            else:
+                ttf = group._ttf_cache
+            if ttf < horizon:
+                horizon = ttf
+            if group._min_rate_cache < min_rate:
+                min_rate = group._min_rate_cache
+        self._armed_at = self.env.now
+        self._armed_ttf = horizon
+        self._armed_min_rate = min_rate
+        if math.isinf(horizon):
+            if self._tasks:
+                raise SimulationError(
+                    "CPU starvation: runnable tasks but zero allocation")
+            self._cancel_wake_timer()
+            return
+        # Never arm below the clock's resolution: a delay smaller than one
+        # ulp of `now` would not advance time (see _time_resolution).
+        horizon = max(horizon, self._time_resolution())
+        self._cancel_wake_timer()
+        timer = self.env.timeout(horizon)
+        self._wake_timer = timer
+        assert timer.callbacks is not None
+        timer.callbacks.append(self._wake_callback(version))
+
+    def _wake_callback(self, version: int) -> Callable[[Event], None]:
+        return lambda _event: self._on_wakeup(version)
+
+    def _cancel_wake_timer(self) -> None:
+        if self._wake_timer is not None:
+            self._wake_timer.cancel()
+            self._wake_timer = None
+
+    def _on_wakeup(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # superseded by a newer allocation
+        self._wake_timer = None
+        self._settle_elapsed()
+        self._reallocate_and_arm()

@@ -23,22 +23,23 @@ Model implemented here (a faithful small-scale reconstruction):
   (EWMA), clamped to ``[min_slice_ms, max_slice_ms]`` — SFS's "dynamically
   perceiving IaT of requests and assigning an adaptive size of time slices".
 
-The class exposes the same interface as
-:class:`repro.sim.cpu.FairShareCpu` (``create_group``/``submit``/accounting)
-so a machine can be constructed with either discipline.  Group caps are
-accepted but not enforced: SFS schedules function *processes* onto cores
-directly, bypassing container cgroup shares (matching its user-space design).
+The class implements the :class:`repro.sim.engine.CpuEngine` protocol
+(``create_group``/``submit``/accounting, shared scaffolding from
+:class:`repro.sim.engine.CpuEngineBase`) so a machine can be constructed
+with either discipline.  Group caps are accepted but not enforced: SFS
+schedules function *processes* onto cores directly, bypassing container
+cgroup shares (matching its user-space design).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Set
+from typing import Deque, Optional, Set
 
 from repro.common.errors import SimulationError
 from repro.common.stats import Ewma
 from repro.common.units import TIME_EPSILON, clamp
-from repro.sim.cpu import CpuGroup
+from repro.sim.engine import CpuEngineBase
 from repro.sim.kernel import Environment, Event
 from repro.sim.primitives import Store
 
@@ -65,10 +66,13 @@ class SfsTask:
         return f"<SfsTask {self.label} remaining={self.remaining:.3f}>"
 
 
-class SfsCpu:
-    """Worker CPU scheduled by the SFS discipline (see module docstring)."""
+class SfsCpu(CpuEngineBase):
+    """Worker CPU scheduled by the SFS discipline (see module docstring).
 
-    HOST_GROUP = "host"
+    Group caps are accepted but not enforced (SFS bypasses cgroup shares);
+    ``create_group``/``remove_group``/lookup come from
+    :class:`~repro.sim.engine.CpuEngineBase`.
+    """
 
     def __init__(self, env: Environment, cores: int,
                  min_slice_ms: float = 1.0,
@@ -81,8 +85,7 @@ class SfsCpu:
             raise ValueError(f"cores must be >= 1, got {cores}")
         if min_slice_ms <= 0 or max_slice_ms < min_slice_ms:
             raise ValueError("invalid slice bounds")
-        self.env = env
-        self.cores = int(cores)
+        super().__init__(env, int(cores))
         self.min_slice_ms = min_slice_ms
         self.max_slice_ms = max_slice_ms
         self.promotion_threshold_ms = promotion_threshold_ms
@@ -94,33 +97,12 @@ class SfsCpu:
         self._background: Deque[SfsTask] = deque()
         self._signal: Store[int] = Store(env)
         self._running: Set[SfsTask] = set()
-        self._busy_core_ms = 0.0
         #: Wake-up signals whose task was aborted out of the queues.
         self._stale_signals = 0
-        self._groups: Dict[str, CpuGroup] = {
-            self.HOST_GROUP: CpuGroup(self.HOST_GROUP, cap=None)}
-        self._task_sequence = 0
         for core_index in range(self.cores):
             env.process(self._core_loop(core_index), name=f"sfs-core-{core_index}")
 
-    # -- FairShareCpu-compatible interface -------------------------------------
-
-    def create_group(self, name: str, cap: Optional[float]) -> CpuGroup:
-        """Track a container group (cap accepted, not enforced; see module doc)."""
-        if name in self._groups:
-            raise SimulationError(f"CPU group {name!r} already exists")
-        group = CpuGroup(name, cap)
-        self._groups[name] = group
-        return group
-
-    def remove_group(self, name: str) -> None:
-        if name == self.HOST_GROUP:
-            raise SimulationError("cannot remove the host group")
-        if self._groups.pop(name, None) is None:
-            raise SimulationError(f"unknown CPU group {name!r}")
-
-    def has_group(self, name: str) -> bool:
-        return name in self._groups
+    # -- CpuEngine interface ----------------------------------------------------
 
     def set_group_cap(self, name: str, cap: Optional[float]) -> None:
         """Record a new cap (accepted, not enforced — see module doc).
@@ -131,9 +113,7 @@ class SfsCpu:
         """
         if cap is not None and cap <= 0:
             raise ValueError(f"group cap must be > 0, got {cap}")
-        if name not in self._groups:
-            raise SimulationError(f"unknown CPU group {name!r}")
-        self._groups[name].cap = cap
+        self.group(name).cap = cap
 
     def abort_group_tasks(self, name: str) -> int:
         """Drop every task of *name* without firing its done event.
@@ -159,25 +139,22 @@ class SfsCpu:
                 dropped += 1
         return dropped
 
-    def submit(self, work: float, group: str = HOST_GROUP,
+    def submit(self, work: float, group: str = CpuEngineBase.HOST_GROUP,
                max_share: float = 1.0, label: str = "") -> Event:
         """Enqueue *work* core-ms; the returned event fires on completion."""
-        if work < 0:
-            raise ValueError(f"negative work: {work}")
+        self._validate_work(work)
         if group not in self._groups:
             raise SimulationError(f"unknown CPU group {group!r}")
-        done = self.env.event()
         if work == 0.0:
-            done.succeed(0.0)
-            return done
+            return self._completed_event()
         self._observe_arrival()
         self._task_sequence += 1
-        task = SfsTask(work=work, done=done,
+        task = SfsTask(work=work, done=self.env.event(),
                        label=label or f"sfs-task-{self._task_sequence}",
                        arrived_at=self.env.now, group_name=group)
         self._foreground.append(task)
         self._signal.put(1)
-        return done
+        return task.done
 
     @property
     def active_tasks(self) -> int:
@@ -185,15 +162,12 @@ class SfsCpu:
                 + len(self._running))
 
     def busy_core_ms(self) -> float:
-        """Completed core-ms, including partial slices of running tasks."""
+        """Completed core-ms (whole slices; running slices charge at end)."""
         return self._busy_core_ms
 
     def current_rate(self) -> float:
         """Cores currently executing a task."""
         return float(len(self._running))
-
-    def utilization(self) -> float:
-        return self.current_rate() / self.cores
 
     @property
     def current_slice_ms(self) -> float:

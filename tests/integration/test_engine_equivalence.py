@@ -1,0 +1,164 @@
+"""Golden-trace equivalence: incremental CPU engine vs the frozen legacy one.
+
+The incremental fair-share engine (`repro.sim.fair_share.FairShareCpu`) and
+the unified dispatch pipeline (`repro.baselines.base.run_dispatch_pipeline`)
+must be *behavior-preserving*: same seed ⇒ byte-identical span traces, event
+logs and metrics.  Three layers of proof:
+
+1. ``tests/data/engine_goldens.json`` holds sha256 digests generated from
+   the pre-refactor tree (commit fe38b28) — the current tree must still
+   produce them (guards the whole refactor, dispatch layer included).
+2. The frozen legacy engine (`repro.sim.legacy_cpu`) must produce them too
+   (guards the oracle itself against drift).
+3. A direct in-memory byte comparison incremental-vs-legacy on the raw
+   artifacts (spans JSONL / event-log CSV / metrics JSON / per-invocation
+   latencies), which localises any future divergence without digest
+   indirection.
+
+Regenerate the goldens (only when an *intentional* behavior change lands)
+with ``PYTHONPATH=src python tests/integration/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.kraken import (
+    KrakenConfig,
+    KrakenParameters,
+    KrakenScheduler,
+)
+from repro.baselines.sfs import SfsScheduler
+from repro.baselines.vanilla import VanillaScheduler
+from repro.common.eventlog import EventLog
+from repro.core.config import FaaSBatchConfig
+from repro.core.scheduler import FaaSBatchScheduler
+from repro.faults import ResiliencePolicy, reference_plan
+from repro.obs import Observability
+from repro.obs.trace import write_jsonl
+from repro.platformsim.experiment import run_experiment
+from repro.workload.generator import fib_family_specs, multi_function_trace
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "engine_goldens.json"
+
+WINDOW_MS = 150.0
+FUNCTIONS = 3
+#: (config key, trace seed, total invocations, with faults+resilience)
+SCENARIOS = [
+    ("vanilla", 42, 240, False),
+    ("sfs", 42, 240, False),
+    ("kraken", 42, 240, False),
+    ("faasbatch", 42, 240, False),
+    ("vanilla+faults", 7, 160, True),
+    ("faasbatch+faults", 7, 160, True),
+]
+
+
+def _specs():
+    return fib_family_specs(FUNCTIONS)
+
+
+def _kraken_parameters():
+    """The paper's porting procedure: learn SLOs from a Vanilla run."""
+    base = run_experiment(
+        VanillaScheduler(),
+        multi_function_trace(seed=42, total=240, functions=FUNCTIONS),
+        _specs())
+    return KrakenParameters.from_invocations(base.successful_invocations())
+
+
+def _make_scheduler(key: str, kraken_parameters):
+    name = key.split("+")[0]
+    if name == "vanilla":
+        return VanillaScheduler()
+    if name == "sfs":
+        return SfsScheduler()
+    if name == "kraken":
+        return KrakenScheduler(KrakenConfig(parameters=kraken_parameters,
+                                            window_ms=WINDOW_MS))
+    return FaaSBatchScheduler(FaaSBatchConfig(window_ms=WINDOW_MS))
+
+
+def _run_artifacts(key: str, engine: str, kraken_parameters):
+    """Run one scenario and return its byte-observable artifacts."""
+    _name, seed, total, faulty = next(
+        (k, s, t, f) for k, s, t, f in SCENARIOS if k == key)
+    trace = multi_function_trace(seed=seed, total=total, functions=FUNCTIONS)
+    obs = Observability(tracing=True)
+    event_log = EventLog(enabled=True)
+    kwargs = {}
+    if faulty:
+        kwargs.update(fault_plan=reference_plan(seed=5),
+                      resilience=ResiliencePolicy())
+    result = run_experiment(
+        _make_scheduler(key, kraken_parameters), trace, _specs(),
+        window_ms=WINDOW_MS, obs=obs, event_log=event_log,
+        cpu_engine=engine, **kwargs)
+    spans = io.StringIO()
+    write_jsonl(spans, result.trace)
+    return {
+        "spans": spans.getvalue(),
+        "eventlog": event_log.to_csv(),
+        "metrics": json.dumps(result.metrics.snapshot(), sort_keys=True),
+        "latencies": json.dumps(
+            [[i.invocation_id, i.response_latency_ms]
+             for i in result.invocations]),
+        "completion_ms": result.completion_ms,
+        "invocations": len(result.invocations),
+    }
+
+
+def _digest(artifacts: dict) -> dict:
+    return {
+        "spans_sha256": hashlib.sha256(
+            artifacts["spans"].encode()).hexdigest(),
+        "eventlog_sha256": hashlib.sha256(
+            artifacts["eventlog"].encode()).hexdigest(),
+        "metrics_sha256": hashlib.sha256(
+            artifacts["metrics"].encode()).hexdigest(),
+        "completion_ms": artifacts["completion_ms"],
+        "invocations": artifacts["invocations"],
+    }
+
+
+@pytest.fixture(scope="module")
+def kraken_parameters():
+    return _kraken_parameters()
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("key", [k for k, *_ in SCENARIOS])
+def test_engines_byte_identical(key, kraken_parameters, goldens):
+    """Incremental vs legacy raw artifacts match, and both match goldens."""
+    incremental = _run_artifacts(key, "incremental", kraken_parameters)
+    legacy = _run_artifacts(key, "legacy", kraken_parameters)
+    for field in ("spans", "eventlog", "metrics", "latencies",
+                  "completion_ms", "invocations"):
+        assert incremental[field] == legacy[field], (
+            f"{key}: engines diverge in {field}")
+    assert _digest(incremental) == goldens[key], (
+        f"{key}: run no longer matches the pre-refactor golden digests")
+
+
+def main() -> None:
+    params = _kraken_parameters()
+    goldens = {key: _digest(_run_artifacts(key, "incremental", params))
+               for key, *_ in SCENARIOS}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=1, sort_keys=True)
+                           + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(goldens)} scenarios)")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,32 @@ class TestWaterfill:
     def test_empty_demands(self):
         assert waterfill(5.0, []) == []
 
+    def test_zero_demand_entries_receive_nothing(self):
+        # Zero-demand entities must neither absorb capacity nor perturb the
+        # shares of the active ones (they never enter the active set).
+        assert waterfill(4.0, [0.0, 3.0, 0.0, 3.0]) == [0.0, 2.0, 0.0, 2.0]
+
+    def test_all_zero_demands(self):
+        assert waterfill(4.0, [0.0, 0.0, 0.0]) == [0.0, 0.0, 0.0]
+
+    def test_mixed_bounded_and_unbounded(self):
+        # The two small demands are satisfiable (bounded); the two large
+        # ones split what remains equally (unbounded).
+        allocation = waterfill(6.0, [0.5, 1.0, 10.0, 10.0])
+        assert allocation[0] == 0.5
+        assert allocation[1] == 1.0
+        assert allocation[2] == pytest.approx(2.25)
+        assert allocation[3] == pytest.approx(2.25)
+
+    def test_demand_exactly_at_equal_share_is_bounded(self):
+        # Boundary case: demand - allocation == share takes the bounded
+        # branch (<=), so the entity is served exactly and removed.
+        assert waterfill(4.0, [2.0, 2.0]) == [2.0, 2.0]
+
+    def test_unbounded_round_exhausts_capacity(self):
+        # No entity bounded: one equal-split round consumes everything.
+        assert waterfill(3.0, [5.0, 5.0, 5.0]) == [1.0, 1.0, 1.0]
+
     @settings(max_examples=200, deadline=None)
     @given(capacity=st.floats(0.1, 128.0),
            demands=st.lists(st.floats(0.0, 8.0), min_size=1, max_size=20))

@@ -309,3 +309,92 @@ class TestDeterminism:
     def test_step_on_empty_queue_rejected(self, env):
         with pytest.raises(SimulationError):
             env.step()
+
+
+class TestTimeoutCancellation:
+    def test_cancelled_timeout_never_fires(self, env):
+        fired = []
+        timer = env.timeout(5.0)
+        timer.callbacks.append(lambda _e: fired.append(env.now))
+        timer.cancel()
+        env.run()
+        assert fired == []
+        # Discarded without processing: the clock never visits t=5.
+        assert env.now == 0.0
+
+    def test_cancelled_timeout_not_counted_as_processed(self, env):
+        env.timeout(1.0).cancel()
+        env.timeout(2.0)
+        env.run()
+        assert env.events_processed == 1
+        assert env.now == 2.0
+
+    def test_cancel_after_processing_is_noop(self, env):
+        timer = env.timeout(1.0)
+        env.run()
+        timer.cancel()
+        assert not timer.cancelled
+        assert env._cancelled == 0
+
+    def test_cancel_twice_counts_once(self, env):
+        timer = env.timeout(1.0)
+        timer.cancel()
+        timer.cancel()
+        assert env._cancelled == 1
+
+    def test_peek_skips_cancelled_head(self, env):
+        first = env.timeout(1.0)
+        env.timeout(3.0)
+        first.cancel()
+        assert env.peek() == 3.0
+
+    def test_run_terminates_when_only_cancelled_events_remain(self, env):
+        for _ in range(5):
+            env.timeout(1.0).cancel()
+        env.run()
+        assert env.now == 0.0
+        assert env.events_processed == 0
+        assert env._queue == []
+
+    def test_compaction_bounds_heap_growth(self, env):
+        # Regression: abandoning timers must not grow the heap without
+        # bound — amortised compaction caps it at the threshold even when
+        # nothing is ever popped.
+        threshold = type(env).COMPACT_THRESHOLD
+        for _ in range(threshold * 10):
+            env.timeout(1000.0).cancel()
+        assert len(env._queue) < threshold
+
+
+class TestDefer:
+    def test_defer_beats_normal_events_at_the_same_instant(self, env):
+        order = []
+        done = env.event()
+        done.callbacks.append(lambda _e: order.append("normal"))
+        done.succeed()                       # normal priority, enqueued first
+        env.defer(lambda: order.append("deferred"))  # urgent, enqueued second
+        env.run()
+        assert order == ["deferred", "normal"]
+
+    def test_defer_runs_before_the_clock_advances(self, env):
+        stamps = []
+
+        def proc():
+            yield env.timeout(5.0)
+
+        env.process(proc())
+        env.defer(lambda: stamps.append(env.now))
+        env.run()
+        assert stamps == [0.0]
+
+    def test_defer_from_callback_runs_within_the_same_instant(self, env):
+        stamps = []
+
+        def proc():
+            yield env.timeout(3.0)
+            env.defer(lambda: stamps.append(env.now))
+            yield env.timeout(4.0)
+
+        env.process(proc())
+        env.run()
+        assert stamps == [3.0]

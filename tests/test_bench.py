@@ -1,0 +1,120 @@
+"""Smoke tests for the perf-bench harness (small scenario, full schema)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    TILE_INVOCATIONS,
+    bench_trace,
+    run_bench,
+    validate_report,
+    write_report,
+)
+
+
+class TestBenchTrace:
+    def test_default_tile_density(self):
+        assert BenchConfig().tile_invocations == TILE_INVOCATIONS
+
+    def test_tiles_to_requested_total(self):
+        trace = bench_trace(BenchConfig(invocations=207, functions=3,
+                                        tile_invocations=100))
+        assert len(trace) == 207
+
+    def test_arrivals_are_sorted_and_tiled(self):
+        trace = bench_trace(BenchConfig(invocations=150, functions=2,
+                                        tile_invocations=100))
+        arrivals = [record.arrival_ms for record in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] >= 60_000.0  # the tail spills into tile 2
+
+    def test_deterministic_per_seed(self):
+        config = BenchConfig(invocations=100, functions=2, seed=5)
+        first = bench_trace(config)
+        second = bench_trace(config)
+        assert [(r.arrival_ms, r.function_id, r.payload) for r in first] \
+            == [(r.arrival_ms, r.function_id, r.payload) for r in second]
+
+    def test_rejects_empty_scenario(self):
+        with pytest.raises(ValueError):
+            BenchConfig(invocations=0)
+
+    def test_rejects_empty_tile(self):
+        with pytest.raises(ValueError):
+            BenchConfig(tile_invocations=0)
+
+
+class TestBenchReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(BenchConfig(invocations=60, functions=2, seed=13,
+                                     window_ms=150.0))
+
+    def test_schema_validates(self, report):
+        validate_report(report)
+        assert report["schema"] == BENCH_SCHEMA
+
+    def test_all_cells_present(self, report):
+        cells = {(r["scheduler"], r["engine"]) for r in report["runs"]}
+        assert cells == {
+            ("Vanilla", "incremental"), ("Vanilla", "legacy"),
+            ("SFS", "incremental"),
+            ("Kraken", "incremental"), ("Kraken", "legacy"),
+            ("FaaSBatch", "incremental"), ("FaaSBatch", "legacy"),
+        }
+
+    def test_engines_agree_on_simulated_results(self, report):
+        # The engines must differ only in wall-clock, never in outcome.
+        by_cell = {(r["scheduler"], r["engine"]): r for r in report["runs"]}
+        for name in ("Vanilla", "Kraken", "FaaSBatch"):
+            incremental = by_cell[(name, "incremental")]
+            legacy = by_cell[(name, "legacy")]
+            assert incremental["sim_completion_ms"] \
+                == legacy["sim_completion_ms"]
+            assert incremental["invocations"] == legacy["invocations"]
+
+    def test_speedup_table_covers_fair_share_schedulers(self, report):
+        speedup = report["speedup"]
+        assert set(speedup["per_scheduler"]) \
+            == {"Vanilla", "Kraken", "FaaSBatch"}
+        assert speedup["overall_wall_clock"] > 0
+        assert speedup["max"] == max(speedup["per_scheduler"].values())
+
+    def test_write_report_round_trips(self, report, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        validate_report(loaded)
+        assert loaded == report
+
+    def test_skip_legacy_omits_speedup(self):
+        report = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True)
+        validate_report(report)
+        assert report["speedup"] is None
+        assert {r["engine"] for r in report["runs"]} == {"incremental"}
+
+
+class TestValidateReport:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            validate_report({"schema": "something-else"})
+
+    def test_rejects_missing_speedup_with_legacy_column(self):
+        report = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True)
+        report["engines"] = ["incremental", "legacy"]
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_rejects_negative_metric(self):
+        report = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True)
+        report["runs"][0]["wall_clock_s"] = -1.0
+        with pytest.raises(ValueError):
+            validate_report(report)
