@@ -151,7 +151,9 @@ class KrakenScheduler(Scheduler):
                 self._prewarm(platform)
             # All requests within the interval count as concurrent (§IV).
             batch: List[Invocation] = yield from collect_window(
-                env, platform.request_queue, self.config.window_ms)
+                env, platform.request_queue, self.config.window_ms,
+                on_open=platform.window_opened,
+                on_close=platform.window_closed)
             self._dispatch_window(platform, batch)
 
     def _dispatch_window(self, platform: "ServerlessPlatform",

@@ -45,6 +45,7 @@ from repro.baselines.sfs import SfsScheduler
 from repro.baselines.vanilla import VanillaScheduler
 from repro.core.config import FaaSBatchConfig
 from repro.core.scheduler import FaaSBatchScheduler
+from repro.obs import Observability
 from repro.platformsim.experiment import run_experiment
 from repro.workload.azure import REPLAY_DURATION_MS, replay_minute_arrivals
 from repro.workload.durations import DurationSampler
@@ -52,7 +53,13 @@ from repro.workload.generator import FIB_FUNCTION_ID, fib_family_specs
 from repro.workload.trace import Trace, TraceRecord
 
 #: Report format version; bump on any structural change.
-BENCH_SCHEMA = "faasbatch-bench/v1"
+#: v2 added the obs-enabled FaaSBatch run and the ``obs_overhead`` block.
+BENCH_SCHEMA = "faasbatch-bench/v2"
+
+#: Scheduler label of the observability-overhead run (tracing + sampling
+#: on).  Distinct from "FaaSBatch" so the (scheduler, engine) cells stay
+#: unique and the speedup table is unaffected.
+OBS_RUN_LABEL = "FaaSBatch+obs"
 
 #: Default arrivals per scenario tile (one simulated minute).  5x the
 #: paper's replay-minute volume: a dense burst keeps hundreds of containers
@@ -121,17 +128,23 @@ def _peak_rss_mb() -> float:
 
 
 def _measure(scheduler_factory: Callable[[], object], trace: Trace, specs,
-             engine: str):
-    """Run one (scheduler, engine) cell; return (row, experiment result)."""
+             engine: str, obs: Optional["Observability"] = None,
+             label: Optional[str] = None):
+    """Run one (scheduler, engine) cell; return (row, experiment result).
+
+    ``obs`` turns the run into an observability-overhead measurement;
+    ``label`` overrides the row's scheduler name (the obs run reports as
+    :data:`OBS_RUN_LABEL` so cell keys stay unique).
+    """
     gc.collect()
     started = time.perf_counter()
     result = run_experiment(scheduler_factory(), trace, specs,  # type: ignore[arg-type]
                             workload_label="bench", strict_memory=False,
-                            cpu_engine=engine)
+                            cpu_engine=engine, obs=obs)
     wall_clock_s = time.perf_counter() - started
     invocations = len(result.invocations)
     return result, {
-        "scheduler": result.scheduler_name,
+        "scheduler": label if label is not None else result.scheduler_name,
         "engine": engine,
         "invocations": invocations,
         "wall_clock_s": round(wall_clock_s, 3),
@@ -152,6 +165,7 @@ def run_bench(config: BenchConfig, skip_legacy: bool = False,
     specs = fib_family_specs(config.functions)
     engines = ["incremental"] + ([] if skip_legacy else ["legacy"])
     runs: List[Dict[str, object]] = []
+    obs_overhead: Dict[str, object] = {}
     for engine in engines:
         emit(f"[{engine}] Vanilla: {len(trace)} invocations ...")
         vanilla_result, row = _measure(VanillaScheduler, trace, specs,
@@ -172,10 +186,34 @@ def run_bench(config: BenchConfig, skip_legacy: bool = False,
                 parameters=params, window_ms=config.window_ms)),
             trace, specs, engine)[1])
         emit(f"[{engine}] FaaSBatch ...")
-        runs.append(_measure(
+        faasbatch_row = _measure(
             lambda: FaaSBatchScheduler(FaaSBatchConfig(
                 window_ms=config.window_ms)),
-            trace, specs, engine)[1])
+            trace, specs, engine)[1]
+        runs.append(faasbatch_row)
+        if engine == "incremental":
+            # Observability-overhead cell: the same run with span tracing
+            # and 1 Hz telemetry sampling on.  Results are identical (pure
+            # observers); the ratio is the bookkeeping cost.
+            emit("[incremental] FaaSBatch+obs (tracing + sampling) ...")
+            obs_row = _measure(
+                lambda: FaaSBatchScheduler(FaaSBatchConfig(
+                    window_ms=config.window_ms)),
+                trace, specs, engine,
+                obs=Observability(tracing=True, sampling=True),
+                label=OBS_RUN_LABEL)[1]
+            runs.append(obs_row)
+            obs_overhead = {
+                "note": ("wall-clock(FaaSBatch+obs) / wall-clock("
+                         "FaaSBatch), incremental engine; tracing + "
+                         "sampling are pure observers so simulated "
+                         "results are identical"),
+                "plain_wall_clock_s": faasbatch_row["wall_clock_s"],
+                "obs_wall_clock_s": obs_row["wall_clock_s"],
+                "wall_clock_ratio": round(
+                    obs_row["wall_clock_s"]
+                    / max(faasbatch_row["wall_clock_s"], 1e-9), 3),
+            }
     report: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "config": {
@@ -187,6 +225,7 @@ def run_bench(config: BenchConfig, skip_legacy: bool = False,
         },
         "engines": engines,
         "runs": runs,
+        "obs_overhead": obs_overhead,
         "speedup": None if skip_legacy else _speedup_table(runs),
     }
     return report
@@ -248,6 +287,17 @@ def validate_report(report: Dict[str, object]) -> None:
     engines = report.get("engines")
     if not isinstance(engines, list) or "incremental" not in engines:
         raise ValueError("engines must list at least 'incremental'")
+    obs_overhead = report.get("obs_overhead")
+    if not isinstance(obs_overhead, dict):
+        raise ValueError("obs_overhead object required (schema v2)")
+    for key in ("plain_wall_clock_s", "obs_wall_clock_s",
+                "wall_clock_ratio"):
+        value = obs_overhead.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"obs_overhead.{key} must be a non-negative "
+                             "number")
+    if not any(row.get("scheduler") == OBS_RUN_LABEL for row in runs):
+        raise ValueError(f"runs must include the {OBS_RUN_LABEL!r} cell")
     speedup = report.get("speedup")
     if "legacy" in engines:
         if not isinstance(speedup, dict):
@@ -274,6 +324,7 @@ def write_report(report: Dict[str, object], path: str) -> None:
 
 __all__ = [
     "BENCH_SCHEMA",
+    "OBS_RUN_LABEL",
     "BenchConfig",
     "bench_trace",
     "run_bench",

@@ -10,7 +10,14 @@ Subcommands
 ``sweep``         sweep FaaSBatch's dispatch interval (the §V-B5 study).
 ``trace``         generate a workload trace and write it to CSV;
                   ``trace summarize`` reduces an exported span trace
-                  (``--trace out.jsonl``) to per-stage latency tables.
+                  (``--trace out.jsonl``) to per-stage latency tables;
+                  ``trace export --format chrome`` converts it to a
+                  Perfetto/Chrome ``trace.json``;
+                  ``trace critical-path`` prints the dominant-stage
+                  attribution table.
+``report``        run the four schedulers (or load an exported trace) and
+                  write one self-contained HTML comparison report with
+                  inline SVG charts.
 ``sample-azure``  write small sample files in the real Azure trace format.
 ``replay-azure``  replay real (or sample) Azure trace files.
 ``bench``         measure simulator performance (incremental vs legacy
@@ -19,13 +26,18 @@ Subcommands
 
 Experiment commands accept ``--trace PATH`` to record every invocation's
 span timeline (queued / cold-start / dispatched / executing / responding)
-and export it as JSON Lines for ``trace summarize`` or external tooling.
+plus the 1 Hz telemetry series, and export them as JSON Lines for
+``trace summarize`` / ``trace export`` / ``trace critical-path`` /
+``report --input`` or external tooling.
 
 Examples::
 
     python -m repro compare --workload io --total 200 --trace spans.jsonl
     python -m repro chaos --plan plan.json --trace chaos.jsonl
     python -m repro trace summarize spans.jsonl
+    python -m repro trace export spans.jsonl --out trace.json
+    python -m repro trace critical-path spans.jsonl
+    python -m repro report --workload io --total 200 --out report.html
     python -m repro sweep --workload io --windows 10,100,200,500
     python -m repro trace --workload cpu --total 800 --out replay.csv
     python -m repro sample-azure --dir ./azure-sample
@@ -59,10 +71,21 @@ from repro.faults import FaultPlan, ResiliencePolicy, reference_plan
 from repro.obs import (
     Observability,
     InvocationTracer,
-    read_jsonl,
+    TimeSeriesSampler,
+    load_jsonl,
+    series_records,
     span_records,
+    tracer_records,
     write_jsonl,
+    write_series_jsonl,
 )
+from repro.obs.critical_path import analyze, critical_path_table
+from repro.obs.export import (
+    chrome_trace,
+    dump_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.report import write_report as write_html_report
 from repro.platformsim import ExperimentResult, run_experiment
 from repro.workload import (
     cpu_workload_trace,
@@ -89,7 +112,10 @@ def _workload(name: str, total: Optional[int], seed: int):
 
 
 def _obs(tracing: bool) -> Optional[Observability]:
-    return Observability(tracing=True) if tracing else None
+    # Tracing runs export JSONL containing spans AND the sampled telemetry
+    # series, so a --trace file feeds every downstream consumer (summarize,
+    # export, critical-path, report) without a second run.
+    return Observability(tracing=True, sampling=True) if tracing else None
 
 
 def _run_all_schedulers(trace, specs, window_ms: float, label: str,
@@ -112,16 +138,49 @@ def _run_all_schedulers(trace, specs, window_ms: float, label: str,
     return [vanilla, sfs, kraken, ours]
 
 
-def _export_span_traces(path,
-                        labeled: Sequence[Tuple[str, InvocationTracer]]
-                        ) -> int:
-    """Validate and write every run's spans to one JSONL file."""
+LabeledRun = Tuple[str, InvocationTracer, Optional[TimeSeriesSampler]]
+
+
+def _export_span_traces(path, labeled: Sequence[LabeledRun]) -> int:
+    """Validate and write every run's spans + series to one JSONL file."""
     total = 0
     with open(path, "w") as handle:
-        for name, tracer in labeled:
+        for name, tracer, sampler in labeled:
             check_trace_invariants(tracer)
             total += write_jsonl(handle, tracer, extra={"scheduler": name})
+            if sampler is not None:
+                total += write_series_jsonl(handle, sampler,
+                                            extra={"scheduler": name})
     return total
+
+
+def _labeled_runs(results: Sequence[ExperimentResult]) -> List[LabeledRun]:
+    return [(r.scheduler_name, r.trace, r.sampler) for r in results]
+
+
+def _run_records(labeled: Sequence[LabeledRun]) -> List[Dict[str, object]]:
+    """The in-memory record stream a --trace export would have written."""
+    records: List[Dict[str, object]] = []
+    for name, tracer, sampler in labeled:
+        check_trace_invariants(tracer)
+        records.extend(tracer_records(tracer, extra={"scheduler": name}))
+        if sampler is not None:
+            records.extend(series_records(sampler,
+                                          extra={"scheduler": name}))
+    return records
+
+
+def _read_trace_records(path) -> Optional[List[Dict[str, object]]]:
+    """Load a JSONL trace for a subcommand; prints errors, None on failure."""
+    try:
+        records, skipped = load_jsonl(path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return None
+    if skipped:
+        print(f"warning: skipped {skipped} truncated trailing line in "
+              f"{path}", file=sys.stderr)
+    return records
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -131,10 +190,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     results = _run_all_schedulers(trace, specs, args.window, args.workload,
                                   tracing=args.trace is not None)
     if args.trace is not None:
-        lines = _export_span_traces(
-            args.trace,
-            [(r.scheduler_name, r.trace) for r in results])
-        print(f"Wrote {lines} span/event records to {args.trace}")
+        lines = _export_span_traces(args.trace, _labeled_runs(results))
+        print(f"Wrote {lines} span/event/series records to {args.trace}")
     rows = [result.summary_row() for result in results]
     print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
                        title="Scheduler summary"))
@@ -171,9 +228,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                                   tracing=args.trace is not None,
                                   fault_plan=plan, resilience=policy)
     if args.trace is not None:
-        lines = _export_span_traces(
-            args.trace,
-            [(r.scheduler_name, r.trace) for r in results])
+        lines = _export_span_traces(args.trace, _labeled_runs(results))
         print(f"Wrote {lines} span/event/annotation records to {args.trace}")
     headers, rows = attempt_latency_table(results)
     print(render_table(headers, rows,
@@ -190,7 +245,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     trace, specs = _workload(args.workload, args.total, args.seed)
     windows = [float(w) for w in args.windows.split(",")]
     rows = []
-    traced: List[Tuple[str, InvocationTracer]] = []
+    traced: List[LabeledRun] = []
     for window_ms in windows:
         scheduler = FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms))
         result = run_experiment(scheduler, trace, specs,
@@ -198,7 +253,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                 window_ms=window_ms,
                                 obs=_obs(args.trace is not None))
         if args.trace is not None:
-            traced.append((f"FaaSBatch[{window_ms:g}ms]", result.trace))
+            traced.append((f"FaaSBatch[{window_ms:g}ms]", result.trace,
+                           result.sampler))
         stats = result.latency_stats()
         rows.append([window_ms / 1000.0, result.provisioned_containers,
                      round(result.average_memory_mb(), 1),
@@ -206,7 +262,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      round(stats.percentile(98.0), 1)])
     if args.trace is not None:
         lines = _export_span_traces(args.trace, traced)
-        print(f"Wrote {lines} span/event records to {args.trace}")
+        print(f"Wrote {lines} span/event/series records to {args.trace}")
     print(render_table(
         ["window_s", "containers", "avg_mem_MB", "p50_ms", "p98_ms"], rows,
         title=f"FaaSBatch dispatch-interval sweep ({args.workload})"))
@@ -225,11 +281,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    try:
-        records = read_jsonl(args.input)
-    except (OSError, ValueError) as error:  # ValueError: malformed JSON
-        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+    records = _read_trace_records(args.input)
+    if records is None:
         return 2
+    if not records:
+        print(f"{args.input} is empty; nothing to summarize")
+        return 0
     spans = span_records(records)
     if not spans:
         print(f"error: no span records in {args.input}", file=sys.stderr)
@@ -255,7 +312,75 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     per_scheduler = ", ".join(f"{name}: {len(ids)}"
                               for name, ids in invocations.items())
     print(f"{len(spans)} spans over {per_scheduler} invocations; "
-          f"{events} container events")
+          f"{events} other records (container events/annotations/series)")
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    records = _read_trace_records(args.input)
+    if records is None:
+        return 2
+    if not records:
+        print(f"error: no records in {args.input}", file=sys.stderr)
+        return 2
+    payload = chrome_trace(records)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    events = dump_chrome_trace(args.out, payload)
+    print(f"Wrote {events} trace events to {args.out} "
+          f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    records = _read_trace_records(args.input)
+    if records is None:
+        return 2
+    summaries = analyze(records)
+    if not summaries:
+        print(f"error: no span records in {args.input}", file=sys.stderr)
+        return 2
+    headers, rows = critical_path_table(summaries)
+    print(render_table(headers, rows,
+                       title=f"Critical-path attribution ({args.input})"))
+    for scheduler in sorted(summaries):
+        summary = summaries[scheduler]
+        dominant = max(summary.dominant_counts,
+                       key=summary.dominant_counts.get)
+        print(f"{scheduler}: {dominant} dominates "
+              f"{summary.dominant_fraction(dominant):.1%} of "
+              f"{summary.count} invocations "
+              f"(p99 {summary.p99_ms:.1f} ms over {summary.tail_count} "
+              f"tail invocations)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if args.input is not None:
+        records = _read_trace_records(args.input)
+        if records is None:
+            return 2
+        if not records:
+            print(f"error: no records in {args.input}", file=sys.stderr)
+            return 2
+        title = f"FaaSBatch scheduler comparison ({args.input})"
+    else:
+        trace, specs = _workload(args.workload, args.total, args.seed)
+        print(f"Running 4 schedulers over {len(trace)} {args.workload} "
+              f"invocations (window {args.window} ms)...")
+        results = _run_all_schedulers(trace, specs, args.window,
+                                      args.workload, tracing=True)
+        records = _run_records(_labeled_runs(results))
+        title = (f"FaaSBatch scheduler comparison — {args.workload} "
+                 f"workload, {len(trace)} invocations, seed {args.seed}")
+    byte_count = write_html_report(args.out, records, title=title)
+    print(f"Wrote {byte_count} bytes to {args.out}")
+    if args.chrome is not None:
+        events = dump_chrome_trace(args.chrome, chrome_trace(records))
+        print(f"Wrote {events} trace events to {args.chrome}")
     return 0
 
 
@@ -279,6 +404,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
                           in speedup["per_scheduler"].items())
         print(f"Incremental-engine speedup: {pairs} "
               f"(overall {speedup['overall_wall_clock']:g}x)")
+    overhead = report.get("obs_overhead") or {}
+    if overhead:
+        print(f"Observability overhead: "
+              f"{overhead['wall_clock_ratio']:g}x wall clock "
+              f"(tracing + sampling on)")
     print(f"Wrote {args.out}")
     return 0
 
@@ -312,10 +442,8 @@ def cmd_replay_azure(args: argparse.Namespace) -> int:
     results = _run_all_schedulers(trace, specs, args.window, "azure-file",
                                   tracing=args.trace is not None)
     if args.trace is not None:
-        lines = _export_span_traces(
-            args.trace,
-            [(r.scheduler_name, r.trace) for r in results])
-        print(f"Wrote {lines} span/event records to {args.trace}")
+        lines = _export_span_traces(args.trace, _labeled_runs(results))
+        print(f"Wrote {lines} span/event/series records to {args.trace}")
     rows = [result.summary_row() for result in results]
     print(render_table(ExperimentResult.SUMMARY_HEADERS, rows,
                        title="Scheduler summary (Azure trace replay)"))
@@ -391,6 +519,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduce an exported span trace (JSONL) to per-stage tables")
     summarize.add_argument("input", help="JSONL file written via --trace")
     summarize.set_defaults(func=cmd_trace_summarize)
+    export = trace_sub.add_parser(
+        "export",
+        help="convert an exported span trace to a viewer format")
+    export.add_argument("input", help="JSONL file written via --trace")
+    export.add_argument("--out", default="trace.json",
+                        help="output path (default: trace.json)")
+    export.add_argument("--format", choices=("chrome",), default="chrome",
+                        help="output format (chrome = Perfetto/"
+                             "chrome://tracing trace-event JSON)")
+    export.set_defaults(func=cmd_trace_export)
+    critical = trace_sub.add_parser(
+        "critical-path",
+        help="attribute each invocation's latency to its dominant stage")
+    critical.add_argument("input", help="JSONL file written via --trace")
+    critical.set_defaults(func=cmd_trace_critical_path)
+
+    report = sub.add_parser(
+        "report",
+        help="write a self-contained HTML comparison report")
+    report.add_argument("--workload", choices=("cpu", "io"), default="io")
+    report.add_argument("--total", type=int, default=None,
+                        help="invocation count (default: paper sizes)")
+    report.add_argument("--window", type=float, default=200.0,
+                        help="dispatch window in ms")
+    report.add_argument("--input", default=None, metavar="PATH",
+                        help="render from an exported JSONL trace instead "
+                             "of running the schedulers")
+    report.add_argument("--out", default="report.html",
+                        help="output path (default: report.html)")
+    report.add_argument("--chrome", default=None, metavar="PATH",
+                        help="also write a Perfetto/Chrome trace.json")
+    add_common(report)
+    report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser(
         "bench",

@@ -65,7 +65,8 @@ class InvokeMapper:
         self.groups_formed = 0
 
     def collect_groups(self, env: Environment,
-                       queue: Store[Invocation]):
+                       queue: Store[Invocation],
+                       on_open=None, on_close=None):
         """Generator: wait out one dispatch window, return its groups.
 
         Usage: ``groups = yield from mapper.collect_groups(env, queue)``.
@@ -74,9 +75,11 @@ class InvokeMapper:
         The window opens at the *first arrival*, not when the mapper starts
         waiting: on sparse workloads the mapper can idle for seconds before
         a request shows up, and that idle time is not part of the window.
+        ``on_open``/``on_close`` are forwarded to the window collector —
+        pure observers of the window boundaries (telemetry only).
         """
         batch, window_start = yield from collect_window_timed(
-            env, queue, self.window_ms)
+            env, queue, self.window_ms, on_open=on_open, on_close=on_close)
         groups = self.group_invocations(batch, window_start_ms=window_start,
                                         window_end_ms=env.now)
         self.windows_formed += 1

@@ -51,7 +51,9 @@ class FaaSBatchScheduler(Scheduler):
         metrics = platform.obs.metrics
         while True:
             groups = yield from self.mapper.collect_groups(
-                platform.env, platform.request_queue)
+                platform.env, platform.request_queue,
+                on_open=platform.window_opened,
+                on_close=platform.window_closed)
             metrics.counter("faasbatch.windows").inc()
             metrics.counter("faasbatch.groups").inc(len(groups))
             for group in groups:

@@ -1,4 +1,4 @@
-"""Observability: per-invocation span tracing and a platform metrics registry.
+"""Observability: span tracing, metrics, and telemetry time-series.
 
 One :class:`Observability` object travels with a platform instance and is
 the single publishing point for every layer:
@@ -8,10 +8,17 @@ the single publishing point for every layer:
   reconstructable into per-invocation and per-container timelines;
 * :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
   deterministically-bucketed histograms published by the platform, the
-  warm pool, the docker facade and all four schedulers.
+  warm pool, the docker facade and all four schedulers;
+* :class:`~repro.obs.timeseries.TimeSeriesSampler` — a kernel-driven 1 Hz
+  sampler turning registered instruments (queue depth, container counts,
+  CPU utilization, memory) into bounded fixed-interval series.
 
-Both are pure observers: they never create simulation events, so enabling
-them cannot change a simulated result (the determinism tests assert this).
+All three are pure observers: they never create simulation events, so
+enabling them cannot change a simulated result (the determinism tests
+assert this).  Downstream, the sampled/traced run feeds the export layer:
+:mod:`repro.obs.export` (Perfetto/Chrome trace-event JSON),
+:mod:`repro.obs.critical_path` (dominant-stage attribution) and
+:mod:`repro.obs.report` (self-contained HTML comparison report).
 """
 
 from __future__ import annotations
@@ -26,6 +33,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.timeseries import (
+    DEFAULT_INTERVAL_MS,
+    Series,
+    TimeSeriesSampler,
+    series_from_records,
+    series_records,
+    write_series_jsonl,
+)
 from repro.obs.trace import (
     STAGE_ORDER,
     STAGE_TO_COMPONENT,
@@ -35,37 +50,49 @@ from repro.obs.trace import (
     InvocationTracer,
     Span,
     Stage,
+    load_jsonl,
     read_jsonl,
     span_records,
+    tracer_records,
     write_jsonl,
 )
 from repro.sim.kernel import Environment
 
 
 class Observability:
-    """Tracer + metrics bundle handed to a :class:`ServerlessPlatform`.
+    """Tracer + metrics + sampler bundle handed to a platform instance.
 
-    ``tracing`` controls the span tracer (off by default — full-scale runs
-    produce hundreds of thousands of spans); metrics are always on, they
-    are a handful of counters per event.
+    ``tracing`` controls the span tracer and ``sampling`` the time-series
+    sampler (both off by default — full-scale runs produce hundreds of
+    thousands of spans); metrics are always on, they are a handful of
+    counters per event.
     """
 
     def __init__(self, tracing: bool = False,
+                 sampling: bool = False,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[InvocationTracer] = None) -> None:
+                 tracer: Optional[InvocationTracer] = None,
+                 sampler: Optional[TimeSeriesSampler] = None,
+                 sample_interval_ms: float = DEFAULT_INTERVAL_MS) -> None:
         self.tracer = tracer if tracer is not None \
             else InvocationTracer(enabled=tracing)
         if tracing:
             self.tracer.enable()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sampler = sampler if sampler is not None \
+            else TimeSeriesSampler(interval_ms=sample_interval_ms,
+                                   enabled=sampling)
+        if sampling:
+            self.sampler.enable()
         self._bound_env: Optional[Environment] = None
 
     def bind(self, env: Environment) -> None:
-        """Install the monotonic-time hook on *env* (idempotent per env).
+        """Install the monotonic-time hooks on *env* (idempotent per env).
 
-        The hook maintains the ``sim.time_ms`` gauge so metric snapshots
-        carry the simulated-time high-water mark; it performs no
-        simulation work of its own.
+        One hook maintains the ``sim.time_ms`` gauge so metric snapshots
+        carry the simulated-time high-water mark; the sampler, when
+        enabled, installs its own boundary-sampling hook.  Neither
+        performs any simulation work.
         """
         if self._bound_env is env:
             return
@@ -73,11 +100,13 @@ class Observability:
         gauge = self.metrics.gauge("sim.time_ms")
         gauge.set(env.now)
         env.add_time_hook(lambda _old, new: gauge.set(new))
+        self.sampler.install(env)
 
 
 __all__ = [
     "ContainerEvent",
     "Counter",
+    "DEFAULT_INTERVAL_MS",
     "DEFAULT_LATENCY_EDGES_MS",
     "DEFAULT_SIZE_EDGES",
     "Gauge",
@@ -88,10 +117,17 @@ __all__ = [
     "Observability",
     "STAGE_ORDER",
     "STAGE_TO_COMPONENT",
+    "Series",
     "Span",
     "Stage",
     "TIME_TOLERANCE_MS",
+    "TimeSeriesSampler",
+    "load_jsonl",
     "read_jsonl",
+    "series_from_records",
+    "series_records",
     "span_records",
+    "tracer_records",
     "write_jsonl",
+    "write_series_jsonl",
 ]

@@ -1,0 +1,179 @@
+"""Critical-path attribution over recorded invocation spans.
+
+Answers the question the paper's latency-breakdown figures (Figs. 11/12)
+answer visually: *which stage dominates each invocation's latency, and
+which stage do the tail invocations spend their time in?*
+
+Per invocation, the five stage durations are summed from the span records
+and the **dominant stage** is the one with the largest share (ties break
+toward the earlier stage in canonical order — deterministic).  Per
+scheduler, the attribution aggregates:
+
+* how many invocations each stage dominates (count and fraction);
+* mean milliseconds per stage (the data behind the report's stacked
+  stage-breakdown bars — the two views are the same aggregation);
+* the p99 response-latency threshold and, over the invocations at or above
+  it, each stage's share of tail time — i.e. *what the p99 is made of*.
+
+Everything operates on the plain record dicts produced by
+:func:`repro.obs.trace.tracer_records` / read back by ``read_jsonl``, so it
+works identically on live tracers and on trace files from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.common.stats import SampleStats
+from repro.obs.trace import STAGE_ORDER
+
+#: Stage value strings in canonical order ("queued", ..., "responding").
+STAGE_KEYS: Tuple[str, ...] = tuple(s.value for s in STAGE_ORDER)
+
+
+@dataclass(frozen=True)
+class InvocationPath:
+    """One invocation's stage durations and dominant-stage attribution."""
+
+    scheduler: str
+    invocation_id: str
+    function_id: str
+    stage_ms: Mapping[str, float]
+    dominant_stage: str
+
+    @property
+    def total_ms(self) -> float:
+        """Response latency: the sum of all five stages."""
+        return sum(self.stage_ms.values())
+
+
+@dataclass
+class SchedulerCriticalPath:
+    """Aggregated attribution for one scheduler."""
+
+    scheduler: str
+    count: int = 0
+    dominant_counts: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in STAGE_KEYS})
+    mean_stage_ms: Dict[str, float] = field(
+        default_factory=lambda: {k: 0.0 for k in STAGE_KEYS})
+    p99_ms: float = 0.0
+    tail_count: int = 0
+    tail_stage_share: Dict[str, float] = field(
+        default_factory=lambda: {k: 0.0 for k in STAGE_KEYS})
+
+    def dominant_fraction(self, stage: str) -> float:
+        if not self.count:
+            return 0.0
+        return self.dominant_counts[stage] / self.count
+
+
+def attribute(records: Iterable[Mapping[str, object]]) -> List[InvocationPath]:
+    """Per-invocation critical-path attribution from span records.
+
+    Invocations appear in record order (the tracer's completion order), so
+    the output is deterministic for a deterministic trace.
+    """
+    stage_ms: Dict[Tuple[str, str], Dict[str, float]] = {}
+    function_of: Dict[Tuple[str, str], str] = {}
+    order: List[Tuple[str, str]] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        key = (str(record.get("scheduler", "-")),
+               str(record["invocation_id"]))
+        if key not in stage_ms:
+            stage_ms[key] = {k: 0.0 for k in STAGE_KEYS}
+            function_of[key] = str(record.get("function_id", "-"))
+            order.append(key)
+        stage = str(record["stage"])
+        duration = float(record["end_ms"]) - float(record["start_ms"])
+        stage_ms[key][stage] = stage_ms[key].get(stage, 0.0) + duration
+    paths: List[InvocationPath] = []
+    for key in order:
+        durations = stage_ms[key]
+        # Ties break toward the earlier canonical stage (max is stable and
+        # STAGE_KEYS seeds the dict in canonical order).
+        dominant = max(durations, key=durations.get)
+        paths.append(InvocationPath(
+            scheduler=key[0], invocation_id=key[1],
+            function_id=function_of[key],
+            stage_ms=durations, dominant_stage=dominant))
+    return paths
+
+
+def aggregate(paths: Iterable[InvocationPath]
+              ) -> Dict[str, SchedulerCriticalPath]:
+    """Per-scheduler aggregation, keyed and ordered by scheduler name."""
+    grouped: Dict[str, List[InvocationPath]] = {}
+    for path in paths:
+        grouped.setdefault(path.scheduler, []).append(path)
+    out: Dict[str, SchedulerCriticalPath] = {}
+    for scheduler in sorted(grouped):
+        scheduler_paths = grouped[scheduler]
+        summary = SchedulerCriticalPath(scheduler=scheduler,
+                                        count=len(scheduler_paths))
+        latencies = SampleStats()
+        for path in scheduler_paths:
+            summary.dominant_counts[path.dominant_stage] = \
+                summary.dominant_counts.get(path.dominant_stage, 0) + 1
+            for stage, duration in path.stage_ms.items():
+                summary.mean_stage_ms[stage] = \
+                    summary.mean_stage_ms.get(stage, 0.0) + duration
+            latencies.add(path.total_ms)
+        for stage in summary.mean_stage_ms:
+            summary.mean_stage_ms[stage] /= summary.count
+        summary.p99_ms = latencies.percentile(99.0)
+        tail = [p for p in scheduler_paths
+                if p.total_ms >= summary.p99_ms]
+        summary.tail_count = len(tail)
+        tail_total = sum(p.total_ms for p in tail)
+        if tail_total > 0:
+            for stage in summary.tail_stage_share:
+                summary.tail_stage_share[stage] = sum(
+                    p.stage_ms.get(stage, 0.0) for p in tail) / tail_total
+        out[scheduler] = summary
+    return out
+
+
+def analyze(records: Iterable[Mapping[str, object]]
+            ) -> Dict[str, SchedulerCriticalPath]:
+    """``aggregate(attribute(records))`` in one call."""
+    return aggregate(attribute(records))
+
+
+def critical_path_table(summaries: Mapping[str, SchedulerCriticalPath]
+                        ) -> Tuple[List[str], List[List[object]]]:
+    """``(headers, rows)`` for :func:`repro.common.tables.render_table`.
+
+    One row per (scheduler, stage) with the stage's mean duration, the
+    fraction of invocations it dominates, and its share of p99-tail time.
+    Rows follow scheduler name then canonical stage order.
+    """
+    headers = ["scheduler", "stage", "mean_ms", "dominates",
+               "tail_share", "p99_ms"]
+    rows: List[List[object]] = []
+    for scheduler in sorted(summaries):
+        summary = summaries[scheduler]
+        for stage in STAGE_KEYS:
+            rows.append([
+                scheduler,
+                stage,
+                round(summary.mean_stage_ms.get(stage, 0.0), 3),
+                f"{summary.dominant_fraction(stage):.1%}",
+                f"{summary.tail_stage_share.get(stage, 0.0):.1%}",
+                round(summary.p99_ms, 3),
+            ])
+    return headers, rows
+
+
+__all__ = [
+    "STAGE_KEYS",
+    "InvocationPath",
+    "SchedulerCriticalPath",
+    "aggregate",
+    "analyze",
+    "attribute",
+    "critical_path_table",
+]

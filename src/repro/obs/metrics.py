@@ -104,26 +104,52 @@ class Histogram:
         return self.sum / self.count
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile: the upper edge of the q-th bucket.
+        """Bucket-resolution quantile with exact and interpolated edges.
 
-        Deterministic and conservative (rounds up to a bucket boundary);
-        exact per-sample quantiles belong to :class:`~repro.common.stats`.
+        Behaviour, in order:
+
+        * ``q`` outside [0, 1] raises ``ValueError`` (never clamped); an
+          empty histogram raises too;
+        * ``q == 0.0`` returns the exact observed minimum and ``q == 1.0``
+          the exact observed maximum (tracked per sample, so the extremes
+          are not subject to bucketing error);
+        * a quantile landing in an *interior* bucket returns that bucket's
+          upper edge — deterministic and conservative (rounds up to a
+          boundary);
+        * a quantile landing in the **underflow** bucket (below the first
+          edge) or the **unbounded tail** (at/above the last edge)
+          interpolates linearly between the observed extreme and the
+          adjacent finite edge, since those buckets have no finite far
+          boundary to round to.
+
+        Exact per-sample quantiles belong to :class:`~repro.common.stats`.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             raise ValueError(f"histogram {self.name} is empty")
+        assert self.min is not None and self.max is not None
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         target = q * self.count
         running = 0
         for index, bucket_count in enumerate(self.counts):
-            running += bucket_count
-            if running >= target and bucket_count:
+            if not bucket_count:
+                continue
+            if running + bucket_count >= target:
+                fraction = (target - running) / bucket_count
                 if index == 0:
-                    return self.edges[0]
+                    lo = self.min
+                    hi = min(self.edges[0], self.max)
+                    return lo + fraction * (hi - lo)
                 if index <= len(self.edges) - 1:
                     return self.edges[index]
-                return self.max if self.max is not None else self.edges[-1]
-        return self.max if self.max is not None else self.edges[-1]
+                lo = max(self.edges[-1], self.min)
+                return lo + fraction * (self.max - lo)
+            running += bucket_count
+        return self.max
 
     def bucket_rows(self) -> List[Tuple[str, int]]:
         """``(label, count)`` per non-empty bucket, for reports."""

@@ -438,40 +438,80 @@ class InvocationTracer:
         return written
 
 
-def write_jsonl(handle, tracer: InvocationTracer,
-                extra: Optional[Mapping[str, object]] = None) -> int:
-    """Append *tracer*'s records to an open file handle (one JSON per line)."""
+def tracer_records(tracer: InvocationTracer,
+                   extra: Optional[Mapping[str, object]] = None
+                   ) -> List[Dict[str, object]]:
+    """*tracer*'s span/event/annotation records as plain dicts.
+
+    Spans carry their timeline's ``function_id``; every record is decorated
+    with *extra* (e.g. ``{"scheduler": name}``).  This is the in-memory
+    form that :func:`write_jsonl` serialises and the export/report layers
+    consume directly.
+    """
     decoration = dict(extra) if extra else {}
-    written = 0
+    records: List[Dict[str, object]] = []
     for timeline in tracer.timelines():
         for span in timeline.spans:
             record = span.to_dict()
             record["function_id"] = timeline.function_id
             record.update(decoration)
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            written += 1
+            records.append(record)
     for event in tracer.container_events:
         record = event.to_dict()
         record.update(decoration)
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
-        written += 1
+        records.append(record)
     for annotation in tracer.annotations:
         record = annotation.to_dict()
         record.update(decoration)
+        records.append(record)
+    return records
+
+
+def write_jsonl(handle, tracer: InvocationTracer,
+                extra: Optional[Mapping[str, object]] = None) -> int:
+    """Append *tracer*'s records to an open file handle (one JSON per line)."""
+    written = 0
+    for record in tracer_records(tracer, extra=extra):
         handle.write(json.dumps(record, sort_keys=True) + "\n")
         written += 1
     return written
 
 
-def read_jsonl(path) -> List[Dict[str, object]]:
-    """Load every record written by :func:`write_jsonl` (blank lines skipped)."""
-    records: List[Dict[str, object]] = []
+def load_jsonl(path) -> Tuple[List[Dict[str, object]], int]:
+    """Load JSONL records, tolerating a truncated *trailing* line.
+
+    A run killed mid-write leaves a partial final line; provided at least
+    one record parsed before it, that tail is skipped and counted in the
+    returned ``(records, skipped)`` pair.  A malformed line anywhere else —
+    or a file whose only content is unparseable — raises ``ValueError``
+    with the offending line number.
+    """
+    lines: List[Tuple[int, str]] = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                records.append(json.loads(line))
-    return records
+                lines.append((number, line))
+    records: List[Dict[str, object]] = []
+    for index, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except ValueError as error:
+            if index == len(lines) - 1 and records:
+                return records, 1
+            raise ValueError(
+                f"{path}:{number}: malformed JSONL record: {error}"
+            ) from None
+    return records, 0
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Load every record written by :func:`write_jsonl` (blank lines skipped).
+
+    Truncated trailing lines are tolerated (see :func:`load_jsonl`); use
+    :func:`load_jsonl` directly to learn whether a tail was dropped.
+    """
+    return load_jsonl(path)[0]
 
 
 def span_records(records: Iterable[Mapping[str, object]]

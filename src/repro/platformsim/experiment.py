@@ -112,7 +112,8 @@ def run_experiment(scheduler: "Scheduler",
         completion_ms=env.now,
         kernel_events=env.events_processed,
         trace=platform.obs.tracer,
-        metrics=platform.obs.metrics)
+        metrics=platform.obs.metrics,
+        sampler=platform.obs.sampler)
 
 
 def run_comparison(schedulers: Sequence["Scheduler"],

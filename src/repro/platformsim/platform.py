@@ -58,9 +58,10 @@ class ServerlessPlatform:
         self.env = env
         #: Structured decision log (disabled by default; ``.enable()`` it).
         self.event_log = event_log if event_log is not None else EventLog()
-        #: Observability bundle: span tracer (off by default) + metrics.
+        #: Observability bundle: span tracer + sampler (off by default)
+        #: + metrics.  Bound at the end of construction, once every
+        #: telemetry probe below is registered.
         self.obs = obs if obs is not None else Observability()
-        self.obs.bind(env)
         self.machine = machine
         self.calibration = calibration
         self.ids = ids if ids is not None else IdFactory()
@@ -87,6 +88,53 @@ class ServerlessPlatform:
         self.resilience: Optional[ResilienceManager] = (
             ResilienceManager(self, resilience)
             if resilience is not None else None)
+        #: Dispatch windows currently open across the windowed schedulers
+        #: (FaaSBatch's mapper, Kraken); maintained via the pure-observer
+        #: window callbacks and sampled into ``scheduler.open_windows``.
+        self._open_windows = self.obs.metrics.gauge("scheduler.open_windows")
+        self._register_telemetry_probes()
+        self.obs.bind(env)
+
+    def _register_telemetry_probes(self) -> None:
+        """Point the time-series sampler at this platform's instruments.
+
+        Probes are plain reads of live state — evaluated only at sample
+        boundaries, never scheduling work — so registration is free when
+        sampling is disabled.
+        """
+        sampler = self.obs.sampler
+        sampler.register_probe(
+            "platform.pending_requests",
+            lambda: float(len(self.request_queue)))
+        sampler.register_probe(
+            "scheduler.open_windows",
+            lambda: float(self._open_windows.value))
+        sampler.register_probe(
+            "pool.idle_containers",
+            lambda: float(self.pool.idle_count()))
+        sampler.register_probe(
+            "containers.live",
+            lambda: float(len(self.docker.containers.list())))
+        sampler.register_probe(
+            "containers.busy",
+            lambda: float(sum(1 for c in self.docker.containers.list()
+                              if c.active_invocations)))
+        sampler.register_probe("cpu.utilization",
+                               self.machine.cpu.utilization)
+        sampler.register_probe(
+            "cpu.runnable_groups",
+            lambda: float(self.machine.cpu.runnable_group_count()))
+        sampler.register_probe("memory.used_mb",
+                               lambda: self.machine.memory.used_mb)
+
+    # -- window observation (pure; used by the windowed schedulers) ---------------
+
+    def window_opened(self, _time_ms: float) -> None:
+        self._open_windows.inc()
+        self.obs.metrics.counter("scheduler.windows_opened").inc()
+
+    def window_closed(self, _time_ms: float) -> None:
+        self._open_windows.dec()
 
     def _on_container_expired(self, container: SimContainer) -> None:
         self.event_log.record(self.env.now, EventKind.CONTAINER_EXPIRED,

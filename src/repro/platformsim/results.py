@@ -18,6 +18,7 @@ from repro.common.stats import SampleStats
 from repro.model.calibration import Calibration
 from repro.model.function import Invocation, InvocationState
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.trace import InvocationTracer
 from repro.sim.machine import ResourceSample
 
@@ -41,9 +42,13 @@ class ExperimentResult:
     kernel_events: int = 0
     #: Observability artefacts of the run.  ``trace`` holds completed span
     #: timelines when tracing was enabled (else an empty, disabled tracer);
-    #: ``metrics`` is the platform's registry snapshot source.
+    #: ``metrics`` is the platform's registry snapshot source; ``sampler``
+    #: carries the sampled telemetry series when sampling was enabled.
+    #: None of the three appears in :meth:`to_dict` — they are pure
+    #: observers and results must serialise identically without them.
     trace: Optional[InvocationTracer] = None
     metrics: Optional[MetricsRegistry] = None
+    sampler: Optional[TimeSeriesSampler] = None
 
     # -- success / failure -----------------------------------------------------
 

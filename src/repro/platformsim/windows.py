@@ -5,31 +5,44 @@ requests within this time interval" (§III-B) from the platform's request
 queue and treat them as concurrent.  :func:`collect_window` implements that
 once, with careful handling of the race between the window timer and a
 request arriving at the very same simulated instant.
+
+``on_open`` / ``on_close`` are optional *pure observer* callbacks fired when
+the window opens (first item taken) and when its batch is returned; the
+platform uses them to maintain the ``scheduler.open_windows`` telemetry
+gauge.  They must not schedule events or touch the queue.
 """
 
 from __future__ import annotations
 
-from typing import List, TypeVar
+from typing import Callable, List, Optional, TypeVar
 
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Store
 
 T = TypeVar("T")
 
+#: Observer of a window boundary: called with the simulated time (ms).
+WindowObserver = Callable[[float], None]
 
-def collect_window(env: Environment, queue: Store[T], window_ms: float):
+
+def collect_window(env: Environment, queue: Store[T], window_ms: float,
+                   on_open: Optional[WindowObserver] = None,
+                   on_close: Optional[WindowObserver] = None):
     """Generator: wait for the first item, then drain the window.
 
     Blocks until one item arrives, then keeps collecting items until
     ``window_ms`` has elapsed *since the first arrival*.  Returns the list
     of items (at least one).  Use as ``batch = yield from collect_window(...)``.
     """
-    batch, _opened = yield from collect_window_timed(env, queue, window_ms)
+    batch, _opened = yield from collect_window_timed(
+        env, queue, window_ms, on_open=on_open, on_close=on_close)
     return batch
 
 
 def collect_window_timed(env: Environment, queue: Store[T],
-                         window_ms: float):
+                         window_ms: float,
+                         on_open: Optional[WindowObserver] = None,
+                         on_close: Optional[WindowObserver] = None):
     """Like :func:`collect_window` but returns ``(batch, window_open_ms)``.
 
     ``window_open_ms`` is the simulated time the *first item* was taken —
@@ -40,6 +53,8 @@ def collect_window_timed(env: Environment, queue: Store[T],
         raise ValueError(f"negative window: {window_ms}")
     first: T = yield queue.get()
     window_open = env.now
+    if on_open is not None:
+        on_open(window_open)
     batch: List[T] = [first]
     window_end = env.now + window_ms
     while env.now < window_end:
@@ -57,4 +72,6 @@ def collect_window_timed(env: Environment, queue: Store[T],
         else:
             queue.cancel_get(get_event)
         break
+    if on_close is not None:
+        on_close(env.now)
     return batch, window_open

@@ -181,6 +181,8 @@ class CpuEngine(Protocol):
 
     def utilization(self) -> float: ...
 
+    def runnable_group_count(self) -> int: ...
+
 
 class CpuEngineBase:
     """Group bookkeeping and accounting shared by the concrete engines.
@@ -260,3 +262,7 @@ class CpuEngineBase:
     def utilization(self) -> float:
         """Instantaneous utilization in [0, 1]."""
         return self.current_rate() / self.cores
+
+    def runnable_group_count(self) -> int:
+        """Groups with at least one runnable task (a telemetry probe)."""
+        return sum(1 for group in self._groups.values() if group.tasks)

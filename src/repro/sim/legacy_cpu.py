@@ -172,6 +172,10 @@ class LegacyFairShareCpu:
         """Instantaneous utilization in [0, 1]."""
         return self.current_rate() / self.cores
 
+    def runnable_group_count(self) -> int:
+        """Groups with at least one runnable task (a telemetry probe)."""
+        return sum(1 for group in self._groups.values() if group.tasks)
+
     # -- internals ----------------------------------------------------------------
 
     def _settle_elapsed(self) -> None:

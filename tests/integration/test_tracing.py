@@ -134,6 +134,54 @@ class TestTracingIsPureObservation:
         assert fingerprint(plain) == fingerprint(traced)
 
 
+class TestSamplingIsPureObservation:
+    def test_results_identical_with_sampling_on_and_off(self):
+        trace = cpu_workload_trace(total=TOTAL)
+        spec = fib_function_spec()
+        plain = run_experiment(FaaSBatchScheduler(), trace, [spec])
+        sampled = run_experiment(
+            FaaSBatchScheduler(), trace, [spec],
+            obs=Observability(tracing=True, sampling=True))
+        assert fingerprint(plain) == fingerprint(sampled)
+        # The sampler rides the kernel's time hook, never the event queue:
+        # the simulation processes the exact same number of events.
+        assert plain.kernel_events == sampled.kernel_events
+        assert json.dumps(plain.to_dict(), sort_keys=True) == \
+            json.dumps(sampled.to_dict(), sort_keys=True)
+
+    def test_series_snapshots_byte_identical_across_runs(self):
+        def run() -> str:
+            result = run_experiment(
+                FaaSBatchScheduler(), cpu_workload_trace(total=TOTAL),
+                [fib_function_spec()],
+                obs=Observability(tracing=True, sampling=True))
+            return json.dumps(result.sampler.snapshot(), sort_keys=True)
+        assert run() == run()
+
+    def test_platform_instruments_are_sampled(self):
+        result = run_experiment(
+            FaaSBatchScheduler(), cpu_workload_trace(total=TOTAL),
+            [fib_function_spec()],
+            obs=Observability(tracing=True, sampling=True))
+        names = set(result.sampler.names())
+        assert names >= {"platform.pending_requests",
+                         "scheduler.open_windows", "pool.idle_containers",
+                         "containers.live", "containers.busy",
+                         "cpu.utilization", "cpu.runnable_groups",
+                         "memory.used_mb"}
+        # Something actually got recorded, at sim-time boundaries.
+        live = result.sampler.series("containers.live").points()
+        assert live
+        assert max(v for _t, v in live) >= 1.0
+
+    def test_sampler_absent_when_sampling_off(self):
+        result = run_experiment(FaaSBatchScheduler(),
+                                cpu_workload_trace(total=40),
+                                [fib_function_spec()])
+        sampler = result.sampler
+        assert sampler is None or not sampler.enabled
+
+
 class TestSpanDerivedBreakdown:
     def test_span_breakdown_equals_stamp_breakdown(self):
         result = traced_run()

@@ -1,0 +1,132 @@
+"""Critical-path attribution on hand-built span records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.critical_path import (
+    STAGE_KEYS,
+    aggregate,
+    analyze,
+    attribute,
+    critical_path_table,
+)
+
+
+def _span(scheduler, invocation, stage, start, end):
+    return {"type": "span", "invocation_id": invocation, "stage": stage,
+            "start_ms": start, "end_ms": end, "function_id": "f",
+            "scheduler": scheduler}
+
+
+def _invocation(scheduler, invocation, durations):
+    """Build the five contiguous spans from a stage→duration mapping."""
+    spans = []
+    cursor = 0.0
+    for stage in STAGE_KEYS:
+        duration = durations.get(stage, 0.0)
+        spans.append(_span(scheduler, invocation, stage, cursor,
+                           cursor + duration))
+        cursor += duration
+    return spans
+
+
+class TestAttribute:
+    def test_dominant_stage_is_argmax(self):
+        records = _invocation("A", "i1", {"queued": 10.0, "cold-start": 5.0,
+                                          "executing": 50.0})
+        paths = attribute(records)
+        assert len(paths) == 1
+        assert paths[0].dominant_stage == "executing"
+        assert paths[0].total_ms == pytest.approx(65.0)
+        assert paths[0].stage_ms["queued"] == pytest.approx(10.0)
+
+    def test_tie_breaks_toward_earlier_stage(self):
+        records = _invocation("A", "i1", {"queued": 30.0, "executing": 30.0})
+        assert attribute(records)[0].dominant_stage == "queued"
+
+    def test_non_span_records_ignored(self):
+        records = _invocation("A", "i1", {"executing": 1.0})
+        records.append({"type": "series", "name": "x", "points": []})
+        records.append({"type": "annotation", "kind": "fault",
+                        "time_ms": 0.0})
+        assert len(attribute(records)) == 1
+
+    def test_insertion_order_preserved(self):
+        records = (_invocation("A", "i2", {"executing": 1.0})
+                   + _invocation("A", "i1", {"executing": 1.0}))
+        assert [p.invocation_id for p in attribute(records)] == ["i2", "i1"]
+
+
+class TestAggregate:
+    @pytest.fixture()
+    def records(self):
+        # 9 fast executions + 1 slow cold-start-dominated invocation: the
+        # p99 tail is exactly the slow one.
+        records = []
+        for index in range(9):
+            records.extend(_invocation("A", f"fast{index}",
+                                       {"queued": 5.0, "executing": 20.0}))
+        records.extend(_invocation("A", "slow",
+                                   {"queued": 5.0, "cold-start": 400.0,
+                                    "executing": 20.0}))
+        records.extend(_invocation("B", "only",
+                                   {"queued": 50.0, "executing": 10.0}))
+        return records
+
+    def test_per_scheduler_summaries(self, records):
+        summaries = analyze(records)
+        assert sorted(summaries) == ["A", "B"]
+        a = summaries["A"]
+        assert a.count == 10
+        assert a.dominant_counts["executing"] == 9
+        assert a.dominant_counts["cold-start"] == 1
+        assert a.dominant_fraction("executing") == pytest.approx(0.9)
+        assert summaries["B"].dominant_counts["queued"] == 1
+
+    def test_mean_stage_ms(self, records):
+        a = analyze(records)["A"]
+        # queued: 5 everywhere; cold-start: 400 on one of ten.
+        assert a.mean_stage_ms["queued"] == pytest.approx(5.0)
+        assert a.mean_stage_ms["cold-start"] == pytest.approx(40.0)
+        assert a.mean_stage_ms["executing"] == pytest.approx(20.0)
+
+    def test_tail_attribution(self, records):
+        a = analyze(records)["A"]
+        assert a.tail_count == 1  # the p99 invocation is the slow one
+        assert a.p99_ms > 25.0
+        # The tail invocation spends 400/425 of its time in cold start.
+        assert a.tail_stage_share["cold-start"] == pytest.approx(400.0
+                                                                 / 425.0)
+        total_share = sum(a.tail_stage_share.values())
+        assert total_share == pytest.approx(1.0)
+
+    def test_aggregate_equals_analyze(self, records):
+        assert aggregate(attribute(records)).keys() \
+            == analyze(records).keys()
+
+
+class TestTable:
+    def test_rows_cover_every_scheduler_stage_pair(self):
+        records = (_invocation("A", "i1", {"executing": 10.0})
+                   + _invocation("B", "i1", {"queued": 10.0}))
+        headers, rows = critical_path_table(analyze(records))
+        assert headers[0] == "scheduler"
+        assert len(rows) == 2 * len(STAGE_KEYS)
+        assert [row[0] for row in rows[:len(STAGE_KEYS)]] \
+            == ["A"] * len(STAGE_KEYS)
+        assert [row[1] for row in rows[:len(STAGE_KEYS)]] \
+            == list(STAGE_KEYS)
+
+    def test_table_is_consistent_with_mean_stage_ms(self):
+        # The stacked-bar chart and this table read the same aggregation;
+        # the table's mean_ms column must round-trip the summary values.
+        records = (_invocation("A", "i1", {"queued": 4.0, "executing": 8.0})
+                   + _invocation("A", "i2", {"queued": 6.0,
+                                             "executing": 12.0}))
+        summaries = analyze(records)
+        _headers, rows = critical_path_table(summaries)
+        by_stage = {row[1]: row[2] for row in rows}
+        for stage in STAGE_KEYS:
+            assert by_stage[stage] == pytest.approx(
+                summaries["A"].mean_stage_ms[stage], abs=1e-3)

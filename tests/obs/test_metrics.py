@@ -64,14 +64,46 @@ class TestHistogram:
         for value in (2.0, 3.0, 50.0, 60.0):
             histogram.observe(value)
         assert histogram.quantile(0.5) == pytest.approx(10.0)
-        assert histogram.quantile(1.0) == pytest.approx(100.0)
+
+    def test_quantile_extremes_are_exact(self):
+        # q=0 / q=1 return the tracked min/max, not a bucket boundary.
+        histogram = Histogram("h", edges=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0, 50.0, 60.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == pytest.approx(2.0)
+        assert histogram.quantile(1.0) == pytest.approx(60.0)
+
+    def test_quantile_interpolates_in_underflow_bucket(self):
+        # All mass below the first edge: interpolate between the observed
+        # min and min(first edge, observed max).
+        histogram = Histogram("h", edges=(10.0, 100.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            histogram.observe(value)
+        # target = 0.5 * 4 = 2 samples -> fraction 0.5 of [2, 8].
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert 2.0 <= histogram.quantile(0.25) <= 8.0
+
+    def test_quantile_interpolates_in_tail_bucket(self):
+        # All mass at/above the last edge: interpolate between
+        # max(last edge, observed min) and the observed max.
+        histogram = Histogram("h", edges=(1.0, 10.0))
+        for value in (20.0, 40.0, 60.0, 80.0):
+            histogram.observe(value)
+        # lo = max(10, 20) = 20; fraction 0.5 of [20, 80] -> 50.
+        assert histogram.quantile(0.5) == pytest.approx(50.0)
+        assert histogram.quantile(0.999) <= 80.0
 
     def test_quantile_validates_inputs(self):
         histogram = Histogram("h", edges=(1.0, 2.0))
         with pytest.raises(ValueError):
             histogram.quantile(1.5)
         with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
             histogram.quantile(0.5)  # empty
+        histogram.observe(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.0001)  # never clamped, even when nonempty
 
     def test_bucket_rows_label_only_nonempty(self):
         histogram = Histogram("h", edges=(1.0, 10.0))

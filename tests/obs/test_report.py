@@ -1,0 +1,112 @@
+"""HTML report smoke tests: structure, charts, determinism, self-containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.critical_path import STAGE_KEYS
+from repro.obs.report import (
+    line_chart,
+    render_report,
+    stacked_bar_chart,
+    write_report,
+)
+
+
+def _records():
+    """A two-scheduler record stream with spans and sampled series."""
+    records = []
+    for scheduler, execute_ms in (("Alpha", 100.0), ("Beta", 40.0)):
+        for index in range(5):
+            start = index * 10.0
+            for stage, duration in (("queued", 5.0), ("cold-start", 0.0),
+                                    ("dispatched", 1.0),
+                                    ("executing", execute_ms + index),
+                                    ("responding", 0.0)):
+                records.append({
+                    "type": "span", "invocation_id": f"i{index}",
+                    "stage": stage, "start_ms": start,
+                    "end_ms": start + duration, "function_id": "f",
+                    "scheduler": scheduler})
+                start += duration
+        for name in ("cpu.utilization", "containers.live"):
+            records.append({
+                "type": "series", "name": name, "scheduler": scheduler,
+                "interval_ms": 1000.0, "base_interval_ms": 1000.0,
+                "points": [[0.0, 0.0], [1000.0, 0.7], [2000.0, 0.3]]})
+    return records
+
+
+class TestRenderReport:
+    @pytest.fixture()
+    def document(self):
+        return render_report(_records(), title="test report")
+
+    def test_is_a_complete_html_document(self, document):
+        assert document.startswith("<!DOCTYPE html>")
+        assert document.rstrip().endswith("</html>")
+        assert "<title>test report</title>" in document
+
+    def test_one_svg_per_chart(self, document):
+        assert document.count("<svg") == 4
+        assert document.count("</svg>") == 4
+        for chart_id in ("chart-utilization", "chart-latency-cdf",
+                         "chart-stage-breakdown", "chart-containers"):
+            assert f'id="{chart_id}"' in document
+
+    def test_self_contained(self, document):
+        # No third-party JS/CSS and nothing fetched at view time.
+        assert "<script" not in document
+        assert "<link" not in document
+        assert "src=" not in document
+        assert 'href="http' not in document
+
+    def test_schedulers_and_stages_listed(self, document):
+        for scheduler in ("Alpha", "Beta"):
+            assert scheduler in document
+        for stage in STAGE_KEYS:
+            assert stage in document
+
+    def test_deterministic(self):
+        assert render_report(_records()) == render_report(_records())
+
+    def test_title_is_escaped(self):
+        document = render_report(_records(), title="<b>&amp;</b>")
+        assert "<b>&amp;" not in document
+        assert "&lt;b&gt;" in document
+
+    def test_empty_records_still_render(self):
+        document = render_report([])
+        assert document.count("<svg") == 4
+        assert "No span records" in document
+
+    def test_write_report_returns_byte_count(self, tmp_path):
+        path = tmp_path / "report.html"
+        written = write_report(path, _records())
+        assert written == path.stat().st_size
+        assert written > 0
+
+
+class TestCharts:
+    def test_line_chart_one_polyline_per_series(self):
+        svg = line_chart({"a": [(0.0, 1.0), (1.0, 2.0)],
+                          "b": [(0.0, 3.0)]}, "x", "y")
+        assert svg.count("<polyline") == 2
+        assert svg.count("<svg") == 1
+
+    def test_line_chart_empty_series(self):
+        assert "no data" in line_chart({}, "x", "y")
+
+    def test_line_chart_flat_series_does_not_divide_by_zero(self):
+        svg = line_chart({"a": [(0.0, 5.0), (1.0, 5.0)]}, "x", "y")
+        assert "<polyline" in svg
+
+    def test_stacked_bars_one_rect_per_nonzero_segment(self):
+        svg = stacked_bar_chart(
+            {"A": {"s1": 1.0, "s2": 2.0}, "B": {"s1": 3.0, "s2": 0.0}},
+            ("s1", "s2"), "ms")
+        # A has two segments, B one; legend adds two swatch rects.
+        assert svg.count("<rect") == 3 + 2
+
+    def test_stacked_bars_empty(self):
+        assert "no data" in stacked_bar_chart({}, ("s1",), "ms")

@@ -11,6 +11,7 @@ from repro.obs.trace import (
     InvocationTracer,
     Span,
     Stage,
+    load_jsonl,
     read_jsonl,
     span_records,
     write_jsonl,
@@ -174,6 +175,44 @@ class TestJsonlRoundTrip:
         path = tmp_path / "out.jsonl"
         assert tracer.to_jsonl(path) == 5
         assert len(read_jsonl(path)) == 5
+
+
+class TestJsonlHardening:
+    def test_truncated_trailing_line_skipped_with_count(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text('{"type": "span", "stage": "queued"}\n'
+                        '{"type": "span", "sta')  # run killed mid-write
+        records, skipped = load_jsonl(path)
+        assert len(records) == 1
+        assert skipped == 1
+        assert read_jsonl(path) == records
+
+    def test_malformed_interior_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"type": "span"}\n'
+                        'garbage in the middle\n'
+                        '{"type": "span"}\n')
+        with pytest.raises(ValueError, match=r"corrupt\.jsonl:2"):
+            load_jsonl(path)
+
+    def test_file_with_only_garbage_raises(self, tmp_path):
+        # A sole unparseable line is corruption, not a truncated tail.
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError, match=r"garbage\.jsonl:1"):
+            load_jsonl(path)
+
+    def test_clean_file_reports_zero_skipped(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"type": "span"}\n\n{"type": "annotation"}\n')
+        records, skipped = load_jsonl(path)
+        assert len(records) == 2  # blank lines ignored
+        assert skipped == 0
+
+    def test_empty_file_is_fine(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_jsonl(path) == ([], 0)
 
 
 class TestObservabilityBundle:

@@ -8,6 +8,7 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA,
+    OBS_RUN_LABEL,
     BenchConfig,
     TILE_INVOCATIONS,
     bench_trace,
@@ -66,7 +67,23 @@ class TestBenchReport:
             ("SFS", "incremental"),
             ("Kraken", "incremental"), ("Kraken", "legacy"),
             ("FaaSBatch", "incremental"), ("FaaSBatch", "legacy"),
+            (OBS_RUN_LABEL, "incremental"),
         }
+
+    def test_obs_overhead_block(self, report):
+        overhead = report["obs_overhead"]
+        assert overhead["wall_clock_ratio"] > 0
+        assert overhead["plain_wall_clock_s"] > 0
+        assert overhead["obs_wall_clock_s"] > 0
+        # The obs run simulates the exact same scenario.
+        by_cell = {(r["scheduler"], r["engine"]): r for r in report["runs"]}
+        plain = by_cell[("FaaSBatch", "incremental")]
+        obs = by_cell[(OBS_RUN_LABEL, "incremental")]
+        assert obs["sim_completion_ms"] == plain["sim_completion_ms"]
+        assert obs["invocations"] == plain["invocations"]
+
+    def test_obs_run_excluded_from_speedup(self, report):
+        assert OBS_RUN_LABEL not in report["speedup"]["per_scheduler"]
 
     def test_engines_agree_on_simulated_results(self, report):
         # The engines must differ only in wall-clock, never in outcome.

@@ -55,13 +55,17 @@ class TestSpanTracing:
         assert main(["compare", "--workload", "cpu", "--total", "40",
                      "--trace", str(spans_path)]) == 0
         out = capsys.readouterr().out
-        assert f"span/event records to {spans_path}" in out
+        assert f"span/event/series records to {spans_path}" in out
 
         records = [json.loads(line)
                    for line in spans_path.read_text().splitlines()]
         spans = [r for r in records if r["type"] == "span"]
         # 4 schedulers x 40 invocations x 5 stages each.
         assert len(spans) == 4 * 40 * 5
+        # Sampling rides along with tracing: telemetry series per run.
+        series = [r for r in records if r["type"] == "series"]
+        assert {r["name"] for r in series} >= {"cpu.utilization",
+                                               "containers.live"}
         assert {r["scheduler"] for r in records} == \
             {"Vanilla", "SFS", "Kraken", "FaaSBatch"}
 
@@ -98,6 +102,86 @@ class TestSpanTracing:
         empty.write_text('{"type": "container-event"}\n')
         assert main(["trace", "summarize", str(empty)]) == 2
         assert "no span records" in capsys.readouterr().err
+
+    def test_summarize_empty_file_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 0
+        assert "nothing to summarize" in capsys.readouterr().out
+
+    def test_summarize_tolerates_truncated_tail(self, tmp_path, capsys):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(
+            '{"type": "span", "invocation_id": "i1", "stage": "queued", '
+            '"start_ms": 0.0, "end_ms": 5.0, "scheduler": "X"}\n'
+            '{"type": "span", "invocation_id": "i1", "st')  # killed mid-write
+        assert main(["trace", "summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 truncated trailing line" in captured.err
+        assert "Span summary" in captured.out
+
+
+class TestTraceExportAndReport:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "spans.jsonl"
+        assert main(["compare", "--workload", "cpu", "--total", "40",
+                     "--trace", str(path)]) == 0
+        return path
+
+    def test_export_chrome_trace(self, trace_path, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+        out = tmp_path / "trace.json"
+        assert main(["trace", "export", str(trace_path),
+                     "--out", str(out)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "C"} <= phases  # metadata, slices, counters
+
+    def test_export_is_deterministic(self, trace_path, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["trace", "export", str(trace_path),
+                     "--out", str(first)]) == 0
+        assert main(["trace", "export", str(trace_path),
+                     "--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_export_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace", "export", str(tmp_path / "nope.jsonl"),
+                     "--out", str(tmp_path / "out.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_critical_path_table(self, trace_path, capsys):
+        assert main(["trace", "critical-path", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Critical-path attribution" in out
+        for scheduler in ("Vanilla", "SFS", "Kraken", "FaaSBatch"):
+            assert scheduler in out
+        assert "dominates" in out
+
+    def test_report_from_trace_file(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        chrome = tmp_path / "trace.json"
+        assert main(["report", "--input", str(trace_path),
+                     "--out", str(out), "--chrome", str(chrome)]) == 0
+        document = out.read_text()
+        assert document.count("<svg") == 4  # one per chart
+        for chart_id in ("chart-utilization", "chart-latency-cdf",
+                         "chart-stage-breakdown", "chart-containers"):
+            assert chart_id in document
+        for scheduler in ("Vanilla", "SFS", "Kraken", "FaaSBatch"):
+            assert scheduler in document
+        assert chrome.exists()
+
+    def test_report_empty_input_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", "--input", str(empty),
+                     "--out", str(tmp_path / "r.html")]) == 2
+        assert "no records" in capsys.readouterr().err
 
 
 class TestAzureCommands:
