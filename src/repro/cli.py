@@ -390,14 +390,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
                          functions=args.functions,
                          seed=args.seed, window_ms=args.window,
                          tile_invocations=args.tile_invocations)
-    report = run_bench(config, skip_legacy=args.skip_legacy, log=print)
+    report = run_bench(config, skip_legacy=args.skip_legacy, log=print,
+                       isolate=not args.inline, parallel=args.parallel,
+                       profile_top=args.profile_top if args.profile else 0)
     write_report(report, args.out)
     headers = ["scheduler", "engine", "wall_s", "events/s", "inv/s",
                "peak_rss_MB"]
     rows = [[r["scheduler"], r["engine"], r["wall_clock_s"],
              r["events_per_sec"], r["invocations_per_sec"],
              r["peak_rss_mb"]] for r in report["runs"]]
-    print(render_table(headers, rows, title="Simulator performance"))
+    title = "Simulator performance"
+    if report["isolation"] == "inline":
+        title += " (inline: RSS is process-wide)"
+    if args.profile:
+        title += " (profiled: wall-clocks inflated)"
+    print(render_table(headers, rows, title=title))
     speedup = report["speedup"]
     if speedup is not None:
         pairs = ", ".join(f"{name} {ratio:g}x" for name, ratio
@@ -409,6 +416,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"Observability overhead: "
               f"{overhead['wall_clock_ratio']:g}x wall clock "
               f"(tracing + sampling on)")
+    baseline = report.get("baseline")
+    if baseline is not None:
+        aggregate = baseline["aggregate_events_per_sec"]
+        print(f"Vs committed baseline: {aggregate['speedup']:g}x mean "
+              f"events/sec over the {aggregate['cells']} incremental cells "
+              f"({aggregate['all_cells_speedup']:g}x over all "
+              f"{aggregate['all_cells']} shared cells)")
+    if args.profile:
+        for row in report["runs"]:
+            top = row.get("profile_top")
+            if not top:
+                continue
+            print(render_table(
+                ["function", "ncalls", "tottime_s", "cumtime_s"],
+                [[h["function"], h["ncalls"], h["tottime_s"],
+                  h["cumtime_s"]] for h in top],
+                title=f"Hotspots: {row['scheduler']}/{row['engine']}"))
     print(f"Wrote {args.out}")
     return 0
 
@@ -568,6 +592,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report path (JSON)")
     bench.add_argument("--skip-legacy", action="store_true",
                        help="measure only the incremental engine")
+    bench.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="run up to N isolated cells concurrently")
+    bench.add_argument("--inline", action="store_true",
+                       help="run cells in-process (RSS becomes a "
+                            "process-wide high-water mark)")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile each cell and embed/print top "
+                            "hotspots (inflates wall-clocks)")
+    bench.add_argument("--profile-top", type=int, default=15,
+                       metavar="N", help="hotspot rows per cell with "
+                                         "--profile (default: 15)")
     add_common(bench)
     bench.set_defaults(func=cmd_bench)
 

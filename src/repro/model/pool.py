@@ -20,7 +20,7 @@ from typing import Callable, DefaultDict, Dict, List, Optional
 
 from repro.common.errors import ContainerStateError
 from repro.model.container import ContainerState, SimContainer
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.sim.kernel import Environment
 
 
@@ -49,6 +49,13 @@ class ContainerPool:
         #: list and is handed out as a "warm" container later.
         self.rejected_releases = 0
         self._on_expire: Optional[Callable[[SimContainer], None]] = None
+        # Hot-path metric handles, filled lazily on first publish so the
+        # registry snapshot only ever contains metrics that actually fired
+        # (pre-creating them would add zero-valued rows to pinned digests).
+        self._m_warm_hits: Optional[Counter] = None
+        self._m_cold_misses: Optional[Counter] = None
+        self._m_releases: Optional[Counter] = None
+        self._m_idle: Optional[Gauge] = None
 
     # -- acquisition ------------------------------------------------------------
 
@@ -62,12 +69,20 @@ class ContainerPool:
             if container.is_idle:
                 self._bump(container)
                 self.warm_hits += 1
-                self.metrics.counter("pool.warm_hits").inc()
+                metric = self._m_warm_hits
+                if metric is None:
+                    metric = self._m_warm_hits = \
+                        self.metrics.counter("pool.warm_hits")
+                metric.inc()
                 self._publish_idle_gauge()
                 return container
             self._evict_stale(container)
         self.cold_misses += 1
-        self.metrics.counter("pool.cold_misses").inc()
+        metric = self._m_cold_misses
+        if metric is None:
+            metric = self._m_cold_misses = \
+                self.metrics.counter("pool.cold_misses")
+        metric.inc()
         return None
 
     def register_started(self, container: SimContainer) -> None:
@@ -97,7 +112,10 @@ class ContainerPool:
                 f"{container.container_id} returned to pool while not idle")
         self._idle[container.function.function_id].append(container)
         version = self._bump(container)
-        self.metrics.counter("pool.releases").inc()
+        metric = self._m_releases
+        if metric is None:
+            metric = self._m_releases = self.metrics.counter("pool.releases")
+        metric.inc()
         self._publish_idle_gauge()
         self.env.process(self._expire_later(container, version),
                          name=f"expire:{container.container_id}")
@@ -158,7 +176,10 @@ class ContainerPool:
         self._publish_idle_gauge()
 
     def _publish_idle_gauge(self) -> None:
-        self.metrics.gauge("pool.idle").set(self.idle_count())
+        gauge = self._m_idle
+        if gauge is None:
+            gauge = self._m_idle = self.metrics.gauge("pool.idle")
+        gauge.value = self.idle_count()
 
     def _expire_later(self, container: SimContainer, version: int):
         yield self.env.timeout(self.keep_alive_ms)

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.obs.metrics import (
     DEFAULT_LATENCY_EDGES_MS,
     DEFAULT_SIZE_EDGES,
+    ClockGauge,
     Counter,
     Gauge,
     Histogram,
@@ -87,23 +88,27 @@ class Observability:
         self._bound_env: Optional[Environment] = None
 
     def bind(self, env: Environment) -> None:
-        """Install the monotonic-time hooks on *env* (idempotent per env).
+        """Attach *env* as the bundle's clock source (idempotent per env).
 
-        One hook maintains the ``sim.time_ms`` gauge so metric snapshots
-        carry the simulated-time high-water mark; the sampler, when
-        enabled, installs its own boundary-sampling hook.  Neither
-        performs any simulation work.
+        ``sim.time_ms`` is a :class:`ClockGauge` reading ``env.now`` live
+        at snapshot time, so the metrics registry installs **no** kernel
+        time hook and adds zero per-event cost (it used to hook every
+        clock advance).  The sampler, when enabled, installs its own
+        boundary-sampling hook; neither performs any simulation work.
         """
         if self._bound_env is env:
             return
         self._bound_env = env
-        gauge = self.metrics.gauge("sim.time_ms")
-        gauge.set(env.now)
-        env.add_time_hook(lambda _old, new: gauge.set(new))
+        gauge = self.metrics.get("sim.time_ms")
+        if isinstance(gauge, ClockGauge):
+            gauge.clock = env
+        else:
+            self.metrics.install(ClockGauge("sim.time_ms", env))
         self.sampler.install(env)
 
 
 __all__ = [
+    "ClockGauge",
     "ContainerEvent",
     "Counter",
     "DEFAULT_INTERVAL_MS",

@@ -66,6 +66,31 @@ class Gauge:
         self.value -= amount
 
 
+class ClockGauge(Gauge):
+    """A gauge whose value reads a live clock instead of a stored float.
+
+    Used for ``sim.time_ms``: ``value`` reads ``clock.now`` at snapshot
+    time, which replaces the per-advance kernel time hook the registry
+    used to install (a callback on every clock advance of every run).
+    Writes via ``set``/``inc``/``dec`` are ignored — the clock is the
+    single source of truth.
+    """
+
+    def __init__(self, name: str, clock) -> None:
+        self.name = name
+        #: Any object with a ``now`` attribute (duck-typed so this module
+        #: needs no kernel import); rebindable when a bundle is reused.
+        self.clock = clock
+
+    @property
+    def value(self) -> float:
+        return self.clock.now
+
+    @value.setter
+    def value(self, _value: float) -> None:
+        pass
+
+
 class Histogram:
     """Fixed-bucket histogram with half-open buckets ``[edge_i, edge_i+1)``.
 
@@ -191,29 +216,53 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
 
-    def _get(self, name: str, kind: type, factory) -> Metric:
+    def _check(self, existing: Metric, name: str, kind: type) -> None:
+        if not isinstance(existing, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, requested {kind.__name__}")
+
+    # The create-or-get accessors inline their fast path (no factory
+    # closure allocated per call — these run inside the simulation loop).
+
+    def counter(self, name: str) -> Counter:
         existing = self._metrics.get(name)
         if existing is not None:
-            if not isinstance(existing, kind):
-                raise TypeError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, requested "
-                    f"{kind.__name__}")
+            self._check(existing, name, Counter)
             return existing
-        metric = factory()
+        metric = Counter(name)
         self._metrics[name] = metric
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter, lambda: Counter(name))
-
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name))
+        existing = self._metrics.get(name)
+        if existing is not None:
+            self._check(existing, name, Gauge)
+            return existing
+        metric = Gauge(name)
+        self._metrics[name] = metric
+        return metric
 
     def histogram(self, name: str,
                   edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS
                   ) -> Histogram:
-        return self._get(name, Histogram, lambda: Histogram(name, edges))
+        existing = self._metrics.get(name)
+        if existing is not None:
+            self._check(existing, name, Histogram)
+            return existing
+        metric = Histogram(name, edges)
+        self._metrics[name] = metric
+        return metric
+
+    def install(self, metric: Metric) -> Metric:
+        """Register (or replace) a pre-built metric under its own name.
+
+        The escape hatch for specialised subclasses such as
+        :class:`ClockGauge`, which the create-or-get factories cannot
+        build.
+        """
+        self._metrics[metric.name] = metric
+        return metric
 
     # -- introspection ----------------------------------------------------------
 

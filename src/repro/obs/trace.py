@@ -34,12 +34,22 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
 #: Tolerance for the sum/contiguity invariants, in milliseconds.
 TIME_TOLERANCE_MS = 1e-6
+
+#: Shared immutable empty attrs — most spans/events carry none, so a
+#: per-instance dict would be pure allocation churn on the hot path.
+_EMPTY_ATTRS: Mapping[str, object] = MappingProxyType({})
+
+
+def _empty_attrs() -> Mapping[str, object]:
+    """Default factory returning the shared proxy (no dict per instance)."""
+    return _EMPTY_ATTRS
 
 
 class Stage(enum.Enum):
@@ -69,7 +79,7 @@ STAGE_TO_COMPONENT: Dict[Stage, str] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One typed stage of one invocation, ``[start_ms, end_ms]``."""
 
@@ -78,7 +88,7 @@ class Span:
     start_ms: float
     end_ms: float
     container_id: Optional[str] = None
-    attrs: Mapping[str, object] = field(default_factory=dict)
+    attrs: Mapping[str, object] = field(default_factory=_empty_attrs)
 
     @property
     def duration_ms(self) -> float:
@@ -99,14 +109,14 @@ class Span:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContainerEvent:
     """One point event in a container's life (start, batch, release, ...)."""
 
     container_id: str
     kind: str
     time_ms: float
-    attrs: Mapping[str, object] = field(default_factory=dict)
+    attrs: Mapping[str, object] = field(default_factory=_empty_attrs)
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -120,7 +130,7 @@ class ContainerEvent:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Annotation:
     """One free-form point event (fault injections, recovery actions).
 
@@ -131,7 +141,7 @@ class Annotation:
 
     kind: str
     time_ms: float
-    attrs: Mapping[str, object] = field(default_factory=dict)
+    attrs: Mapping[str, object] = field(default_factory=_empty_attrs)
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -144,7 +154,7 @@ class Annotation:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InvocationTimeline:
     """The complete, ordered span sequence of one invocation."""
 
@@ -330,7 +340,8 @@ class InvocationTracer:
         trace = self._open.get(invocation_id)
         if trace is None or trace.execution_start_ms is None:
             return
-        attrs = {} if error is None else {"error": type(error).__name__}
+        attrs = _EMPTY_ATTRS if error is None \
+            else {"error": type(error).__name__}
         trace.spans.append(Span(invocation_id, Stage.EXECUTING,
                                 trace.execution_start_ms, time_ms,
                                 container_id=trace.container_id,

@@ -31,7 +31,7 @@ class CpuTask:
     """One unit of computation being serviced by the CPU."""
 
     __slots__ = ("work_total", "remaining", "max_share", "group", "done",
-                 "rate", "started_at", "finished_at", "label")
+                 "rate", "started_at", "finished_at", "label", "seq")
 
     def __init__(self, work: float, max_share: float, group: "CpuGroup",
                  done: Event, started_at: float, label: str) -> None:
@@ -44,6 +44,10 @@ class CpuTask:
         self.started_at = started_at
         self.finished_at: Optional[float] = None
         self.label = label
+        #: Global submission rank, set by engines that complete tasks via
+        #: per-group scans: sorting candidates by ``seq`` reproduces the
+        #: all-tasks (submission-ordered) completion order exactly.
+        self.seq = 0
 
     def __repr__(self) -> str:
         return (f"<CpuTask {self.label} remaining={self.remaining:.3f} "

@@ -50,6 +50,11 @@ schedules with three structural savings:
    of empty groups over a run; reallocation and wake-up arming visit only
    the non-empty ones (tracked incrementally, iterated in creation order
    because the group-level waterfill's float results are order-sensitive).
+5. **Persistent demand vector.**  The group-level demand vector is kept
+   alive across recomputes — rebuilt only when the runnable-group set
+   changes, patched in place for dirty groups otherwise — and a recompute
+   with no dirty groups returns immediately (the vector is unchanged and
+   waterfill is pure, so every group would hit its alloc-cache skip).
 
 The finished-task scan is also elided when provably empty, two ways:
 
@@ -116,6 +121,11 @@ class FairShareCpu(CpuEngineBase):
         #: groups) cost.
         self._active: List[CpuGroup] = []
         self._active_set: Set[CpuGroup] = set()
+        #: Demand vector parallel to ``_active``, reused across recomputes;
+        #: rebuilt only when the runnable-group membership changes, patched
+        #: in place for dirty groups otherwise (no per-event list churn).
+        self._demands: List[float] = []
+        self._membership_changed = False
         #: True while a coalescing flush event is scheduled at `now`.
         self._flush_scheduled = False
         #: Invalidates in-flight flush events superseded by a full realloc.
@@ -196,6 +206,7 @@ class FairShareCpu(CpuEngineBase):
                        group=self.group(group), done=self.env.event(),
                        started_at=self.env.now,
                        label=label or f"task-{self._task_sequence}")
+        task.seq = self._task_sequence
         task.group.tasks[task] = None
         self._tasks[task] = None
         self._invalidate_group(task.group)
@@ -242,9 +253,13 @@ class FairShareCpu(CpuEngineBase):
             return
         busy = self._busy_core_ms
         for task in self._tasks:
-            step = task.rate * dt
-            task.remaining -= step
-            busy += step
+            rate = task.rate
+            if rate != 0.0:
+                # Skipping the zero-rate write is exact: step would be 0.0
+                # and ``x - 0.0 == x`` for every float (rates are >= 0).
+                step = rate * dt
+                task.remaining -= step
+                busy += step
         self._busy_core_ms = busy
         self._last_update = now
         # Remaining-work changed: finished-task scans and cached per-group
@@ -265,9 +280,11 @@ class FairShareCpu(CpuEngineBase):
                 self._active_set.add(group)
                 bisect.insort(self._active, group,
                               key=lambda g: g._seq)
+                self._membership_changed = True
         elif group in self._active_set:
             self._active_set.discard(group)
             self._active.remove(group)
+            self._membership_changed = True
 
     def _time_resolution(self) -> float:
         """Smallest representable clock advance at the current sim time.
@@ -338,9 +355,53 @@ class FairShareCpu(CpuEngineBase):
                         TIME_EPSILON / self._armed_min_rate) + 1e-6
             if elapsed < self._armed_ttf - slack:
                 return []
+            # Per-group refinement of the same invariant: every active
+            # group's ttf/min-rate caches were refreshed by the arming and
+            # rates are unchanged since, so a group whose armed minimum
+            # time-to-finish exceeds elapsed by more than its own slack
+            # cannot contain a finishing task — only groups near the
+            # horizon are scanned.  Within one group rates are either all
+            # positive or all zero (waterfill grants every positive-demand
+            # task a positive share whenever the group's allocation is),
+            # so an infinite min-rate marks the all-zero case, which is
+            # scanned unconditionally.  Candidates are re-ordered by
+            # global submission rank, reproducing the all-tasks scan's
+            # completion order exactly.
+            resolution = self._time_resolution()
+            eps = TIME_EPSILON
+            finished = []
+            for group in self._active:
+                # The skip needs both caches valid as of the last arming: a
+                # None ttf (group invalidated since) or a non-positive /
+                # infinite min-rate (all-zero rates, or a cache never
+                # refreshed) disables it — scanning a group unnecessarily
+                # is always safe.
+                ttf = group._ttf_cache
+                min_rate = group._min_rate_cache
+                if ttf is not None and 0.0 < min_rate < math.inf:
+                    group_slack = max(resolution, eps / min_rate) + 1e-6
+                    if elapsed < ttf - group_slack:
+                        continue
+                for t in group.tasks:
+                    if t.remaining <= eps or (
+                            t.rate > 0.0
+                            and t.remaining / t.rate <= resolution):
+                        finished.append(t)
+            if len(finished) > 1:
+                finished.sort(key=lambda t: t.seq)
+            for task in finished:
+                self._tasks.pop(task, None)
+                task.group.tasks.pop(task, None)
+                self._invalidate_group(task.group)
+                task.rate = 0.0
+                task.remaining = 0.0
+                task.finished_at = self.env.now
+                task.done.succeed(self.env.now - task.started_at)
+            return finished
         resolution = self._time_resolution()
+        eps = TIME_EPSILON
         finished = [t for t in self._tasks
-                    if t.remaining <= TIME_EPSILON
+                    if t.remaining <= eps
                     or (t.rate > 0.0 and t.remaining / t.rate <= resolution)]
         for task in finished:
             self._tasks.pop(task, None)
@@ -358,20 +419,37 @@ class FairShareCpu(CpuEngineBase):
         # groups' original creation order); the expensive per-group task
         # sort + waterfill only runs for groups that changed.
         dirty = self._dirty
+        if not dirty:
+            # No membership or cap change since the last recompute: the
+            # demand vector is unchanged, waterfill is a pure function, and
+            # every group below would hit its alloc-cache skip — the whole
+            # pass is a provable no-op (spurious wake-ups land here).
+            return
         groups = self._active  # non-empty groups, creation order
-        demands: List[float] = []
-        uniform = True
-        first_demand = 0.0
-        for group in groups:
-            demand = group._demand_cache
-            if demand is None:
-                demand = group.demand
-                group._demand_cache = demand
-            if not demands:
-                first_demand = demand
-            elif demand != first_demand:
-                uniform = False
-            demands.append(demand)
+        if self._membership_changed:
+            self._membership_changed = False
+            demands = [0.0] * len(groups)
+            for index, group in enumerate(groups):
+                demand = group._demand_cache
+                if demand is None:
+                    demand = group.demand
+                    group._demand_cache = demand
+                demands[index] = demand
+            self._demands = demands
+        else:
+            # Same groups in the same slots: patch only the dirty entries.
+            demands = self._demands
+            for index, group in enumerate(groups):
+                if group._demand_cache is None:
+                    demand = group.demand
+                    group._demand_cache = demand
+                    demands[index] = demand
+        if demands:
+            first_demand = demands[0]
+            uniform = demands.count(first_demand) == len(demands)
+        else:
+            first_demand = 0.0
+            uniform = True
         cores = self.cores
         if uniform and demands and first_demand > 0.0 \
                 and cores > TIME_EPSILON:

@@ -13,6 +13,30 @@ scheduling (a monotone sequence number breaks ties), so a run is a pure
 function of its inputs.  All times are in milliseconds
 (:mod:`repro.common.units`).
 
+Hot-path design
+---------------
+A 50k-invocation bench run pushes millions of events through this module,
+so the inner loop is written for mechanical sympathy while keeping the
+exact event ordering of the straightforward implementation:
+
+* every event class declares ``__slots__`` (no per-instance ``__dict__``);
+* heap entries are flat ``(when, key, event)`` triples where ``key``
+  pre-composes ``(priority << 62) | sequence`` into one integer at schedule
+  time, so heap sifting compares at most one float and one int instead of
+  re-comparing ``(time, priority, seq)`` tuples — the ordering is identical
+  because every sequence number is far below ``2**62``;
+* callback lists are allocated lazily: an event stores a shared empty
+  sentinel until the first waiter attaches, a bare callable for a single
+  waiter and a list only for several (the public :attr:`Event.callbacks`
+  property materializes a real list on demand and preserves the historical
+  ``callbacks is None == processed`` contract);
+* :meth:`Environment.run` and :meth:`Environment.run_process` inline the
+  pop/advance/dispatch sequence with bound locals rather than paying a
+  ``peek()`` + ``step()`` round-trip per event (``step()`` remains the
+  single-event reference implementation);
+* timeout-heavy services can recycle a processed :class:`Timeout` with
+  :meth:`Timeout.reset` instead of allocating a fresh event per slice.
+
 Example
 -------
 >>> env = Environment()
@@ -44,6 +68,16 @@ ProcessGenerator = Generator["Event", Any, Any]
 PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 
+#: Priority occupies the bits above the sequence counter in the composed heap
+#: key; 2**62 sequence numbers cannot be exhausted by any realistic run.
+_PRIORITY_SHIFT = 62
+_NORMAL_KEY_BASE = PRIORITY_NORMAL << _PRIORITY_SHIFT
+
+#: Shared sentinel for "pending, no waiters attached yet" (``None`` still
+#: means processed).  Being falsy and immutable, one instance serves every
+#: event that never acquires a waiter.
+_NO_WAITERS: Tuple = ()
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -53,15 +87,51 @@ class Event:
     :class:`EventAlreadyTriggered`.
     """
 
+    __slots__ = ("env", "_callbacks", "_value", "_ok", "_defused")
+
     #: Lazily-cancelled events stay in the heap but are discarded unprocessed
     #: (no callbacks, no clock advancement).  Only Timeout supports it.
     cancelled = False
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._callbacks: Any = _NO_WAITERS
         self._value: Any = None
         self._ok: Optional[bool] = None  # None = pending
+        self._defused = False
+
+    # -- callbacks ------------------------------------------------------------
+
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """Waiter callbacks, or ``None`` once the event has been processed.
+
+        Internally waiters are stored compactly (no list until one exists);
+        reading this property materializes — and keeps — a real list so the
+        historical contract (``callbacks is None`` means processed, appends
+        attach waiters) is fully preserved.
+        """
+        cbs = self._callbacks
+        if cbs is None or type(cbs) is list:
+            return cbs
+        fresh: List[Callable[["Event"], None]] = \
+            [] if cbs is _NO_WAITERS else [cbs]
+        self._callbacks = fresh
+        return fresh
+
+    @callbacks.setter
+    def callbacks(self, value: Optional[List[Callable[["Event"], None]]]) -> None:
+        self._callbacks = value
+
+    def _attach(self, callback: Callable[["Event"], None]) -> None:
+        """Attach a waiter without materializing a list for the first one."""
+        cbs = self._callbacks
+        if type(cbs) is list:
+            cbs.append(callback)
+        elif cbs is _NO_WAITERS:
+            self._callbacks = callback
+        else:
+            self._callbacks = [cbs, callback]
 
     # -- state ---------------------------------------------------------------
 
@@ -73,7 +143,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self._callbacks is None
 
     @property
     def ok(self) -> bool:
@@ -97,7 +167,10 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+        env = self.env
+        heapq.heappush(env._queue,
+                       (env._now, _NORMAL_KEY_BASE | env._sequence, self))
+        env._sequence += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -111,7 +184,10 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+        env = self.env
+        heapq.heappush(env._queue,
+                       (env._now, _NORMAL_KEY_BASE | env._sequence, self))
+        env._sequence += 1
         return self
 
     def defuse(self) -> "Event":
@@ -124,7 +200,7 @@ class Event:
         any remaining waiters still receive the exception, but zero waiters
         is no longer an error.
         """
-        self._defused = True  # type: ignore[attr-defined]
+        self._defused = True
         return self
 
     # -- composition -------------------------------------------------------------
@@ -137,7 +213,7 @@ class Event:
 
     def __repr__(self) -> str:
         state = "pending"
-        if self.triggered:
+        if self._ok is not None:
             state = "ok" if self._ok else "failed"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
@@ -145,14 +221,24 @@ class Event:
 class Timeout(Event):
     """An event that triggers *delay* milliseconds after creation."""
 
+    __slots__ = ("delay", "cancelled")
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self._callbacks: Any = _NO_WAITERS
         self._value = value
-        env._enqueue(self, delay=delay, priority=PRIORITY_NORMAL)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        # The slot shadows the Event class attribute for Timeout instances,
+        # so initialize it explicitly.
+        self.cancelled = False
+        heapq.heappush(env._queue,
+                       (env._now + delay, _NORMAL_KEY_BASE | env._sequence,
+                        self))
+        env._sequence += 1
 
     def cancel(self) -> None:
         """Abandon this timeout: the kernel discards it without processing.
@@ -164,10 +250,44 @@ class Timeout(Event):
         abandoned timers stop costing heap space and no-op wake-ups.
         Cancelling an already-processed timeout is a no-op.
         """
-        if self.callbacks is None or self.cancelled:
+        if self._callbacks is None or self.cancelled:
             return
         self.cancelled = True
         self.env._note_cancelled()
+
+    def reset(self, delay: float, value: Any = None,
+              at: Optional[float] = None) -> "Timeout":
+        """Re-arm an already-processed timeout instead of allocating a new one.
+
+        Only the owner of a timeout that has been fully processed (its
+        callbacks ran and nobody else holds it as a pending event) may
+        recycle it; resetting a pending or cancelled timeout raises.  With
+        ``at`` the timeout fires at that exact absolute time — callers that
+        accumulate boundary times sequentially use it to avoid re-deriving
+        the firing time from a delay (which would round differently).
+        Timeout-per-slice services (the SFS discipline) use this to elide
+        one event allocation per slice.
+        """
+        if self._callbacks is not None or self.cancelled:
+            raise SimulationError("reset() of a pending or cancelled timeout")
+        env = self.env
+        if at is None:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            when = env._now + delay
+        else:
+            if at < env._now:
+                raise ValueError(f"timeout at={at} is in the past "
+                                 f"(now={env._now})")
+            when = at
+        self._callbacks = _NO_WAITERS
+        self._value = value
+        self._defused = False
+        self.delay = when - env._now
+        heapq.heappush(env._queue,
+                       (when, _NORMAL_KEY_BASE | env._sequence, self))
+        env._sequence += 1
+        return self
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover - guard
         raise SimulationError("Timeout events trigger themselves")
@@ -179,36 +299,40 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a process at creation time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self._callbacks = process._resume
         self._ok = True
-        self._value = None
         env._enqueue(self, delay=0.0, priority=PRIORITY_URGENT)
 
 
 class Interruption(Event):
     """Internal event that throws ProcessInterrupted into a process."""
 
+    __slots__ = ("process",)
+
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
-        if process.triggered:
+        if process._ok is not None:
             raise SimulationError("cannot interrupt a terminated process")
         self.process = process
-        self.callbacks.append(self._interrupt)
+        self._callbacks = self._interrupt
         self._ok = False
         self._value = ProcessInterrupted(cause)
         self.env._enqueue(self, delay=0.0, priority=PRIORITY_URGENT)
 
     def _interrupt(self, event: Event) -> None:
-        if self.process.triggered:
+        if self.process._ok is not None:
             return  # terminated before the interrupt was delivered
         target = self.process._waiting_on
         if target is not None and not target.processed:
             # Detach so the original event no longer resumes the process.
-            assert target.callbacks is not None
-            if self.process._resume in target.callbacks:
-                target.callbacks.remove(self.process._resume)
+            callbacks = target.callbacks
+            assert callbacks is not None
+            if self.process._resume in callbacks:
+                callbacks.remove(self.process._resume)
         self.process._waiting_on = None
         self.process._resume(self)
 
@@ -220,6 +344,8 @@ class Process(Event):
     generator raises, the process fails with that exception (which propagates
     to joiners, or out of :meth:`Environment.run` if nobody joined).
     """
+
+    __slots__ = ("_generator", "name", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None) -> None:
@@ -241,26 +367,36 @@ class Process(Event):
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
+        send = self._generator.send
+        throw = self._generator.throw
         event: Optional[Event] = trigger
         while True:
             assert event is not None
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     exc = event._value
                     # Mark delivered so an unhandled failure is reported once.
-                    event._defused = True  # type: ignore[attr-defined]
-                    next_event = self._generator.throw(exc)
+                    event._defused = True
+                    next_event = throw(exc)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+                env = self.env
+                heapq.heappush(
+                    env._queue,
+                    (env._now, _NORMAL_KEY_BASE | env._sequence, self))
+                env._sequence += 1
                 return
             except BaseException as exc:  # generator crashed
                 self._ok = False
                 self._value = exc
-                self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+                env = self.env
+                heapq.heappush(
+                    env._queue,
+                    (env._now, _NORMAL_KEY_BASE | env._sequence, self))
+                env._sequence += 1
                 return
 
             if not isinstance(next_event, Event):
@@ -272,12 +408,17 @@ class Process(Event):
                 self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
                 return
 
-            if next_event.processed:
+            cbs = next_event._callbacks
+            if cbs is None:
                 # Already fired: loop immediately with its value.
                 event = next_event
                 continue
-            assert next_event.callbacks is not None
-            next_event.callbacks.append(self._resume)
+            if type(cbs) is list:
+                cbs.append(self._resume)
+            elif cbs is _NO_WAITERS:
+                next_event._callbacks = self._resume
+            else:
+                next_event._callbacks = [cbs, self._resume]
             self._waiting_on = next_event
             return
 
@@ -291,6 +432,8 @@ class AllOf(Event):
     The value is a list of child values in the order the children were given.
     """
 
+    __slots__ = ("_children", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._children: List[Event] = list(events)
@@ -301,8 +444,7 @@ class AllOf(Event):
                     self._fail_once(child._value)
                 continue
             self._pending += 1
-            assert child.callbacks is not None
-            child.callbacks.append(self._on_child)
+            child._attach(self._on_child)
         if self._ok is None and self._pending == 0:
             self.succeed([c._value for c in self._children])
 
@@ -314,7 +456,7 @@ class AllOf(Event):
         if self._ok is not None:
             return
         if not child._ok:
-            child._defused = True  # type: ignore[attr-defined]
+            child._defused = True
             self._fail_once(child._value)
             return
         self._pending -= 1
@@ -328,6 +470,8 @@ class AnyOf(Event):
     The value is ``(child, child_value)`` of the winner.
     """
 
+    __slots__ = ("_children",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._children = list(events)
@@ -336,14 +480,13 @@ class AnyOf(Event):
             self._settle(done)
             return
         for child in self._children:
-            assert child.callbacks is not None
-            child.callbacks.append(self._on_child)
+            child._attach(self._on_child)
 
     def _settle(self, child: Event) -> None:
         if child._ok:
             self.succeed((child, child._value))
         else:
-            child._defused = True  # type: ignore[attr-defined]
+            child._defused = True
             self.fail(child._value)
 
     def _on_child(self, child: Event) -> None:
@@ -359,9 +502,12 @@ class Environment:
     #: *and* they outnumber the live ones (amortised O(1) per cancellation).
     COMPACT_THRESHOLD = 64
 
+    __slots__ = ("_now", "_queue", "_sequence", "_cancelled",
+                 "events_processed", "active_process", "_time_hooks")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = initial_time
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self._cancelled = 0
         #: Count of events actually processed (cancelled ones excluded);
@@ -409,6 +555,30 @@ class Environment:
         """Create an event that triggers after *delay* ms."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create an event that triggers at absolute time *when* (>= now).
+
+        Unlike ``timeout(when - now)``, the firing time is *when* exactly —
+        no float round-trip through a relative delay — which callers that
+        accumulate boundary times sequentially (slice coalescing) rely on
+        for bit-identical schedules.
+        """
+        if when < self._now:
+            raise ValueError(f"timeout at={when} is in the past "
+                             f"(now={self._now})")
+        timeout = Timeout.__new__(Timeout)
+        timeout.env = self
+        timeout._callbacks = _NO_WAITERS
+        timeout._value = value
+        timeout._ok = True
+        timeout._defused = False
+        timeout.delay = when - self._now
+        timeout.cancelled = False
+        heapq.heappush(self._queue,
+                       (when, _NORMAL_KEY_BASE | self._sequence, timeout))
+        self._sequence += 1
+        return timeout
+
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:
         """Start a process driving *generator* at the current time."""
@@ -425,7 +595,8 @@ class Environment:
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         heapq.heappush(
             self._queue,
-            (self._now + delay, priority, self._sequence, event))
+            (self._now + delay,
+             (priority << _PRIORITY_SHIFT) | self._sequence, event))
         self._sequence += 1
 
     def defer(self, callback: Callable[[], None]) -> None:
@@ -439,9 +610,9 @@ class Environment:
         """
         event = Event(self)
         event._ok = True
-        assert event.callbacks is not None
-        event.callbacks.append(lambda _event: callback())
-        self._enqueue(event, delay=0.0, priority=PRIORITY_URGENT)
+        event._callbacks = lambda _event: callback()
+        heapq.heappush(self._queue, (self._now, self._sequence, event))
+        self._sequence += 1
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
@@ -449,43 +620,58 @@ class Environment:
                 and self._cancelled * 2 > len(self._queue)):
             retained = []
             for entry in self._queue:
-                if entry[3].cancelled:
-                    entry[3].callbacks = None  # mark processed
+                if entry[2].cancelled:
+                    entry[2]._callbacks = None  # mark processed
                 else:
                     retained.append(entry)
-            heapq.heapify(retained)
-            self._queue = retained
+            # In place: run()/run_process() hold the list as a bound local,
+            # so the queue object's identity must never change.
+            self._queue[:] = retained
+            heapq.heapify(self._queue)
             self._cancelled = 0
 
     def _discard_cancelled(self) -> None:
         """Drop cancelled entries sitting at the head of the heap."""
         queue = self._queue
-        while queue and queue[0][3].cancelled:
-            heapq.heappop(queue)[3].callbacks = None
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)[2]._callbacks = None
             self._cancelled -= 1
 
     def peek(self) -> float:
         """Time of the next scheduled *live* event, or +inf when idle."""
-        self._discard_cancelled()
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)[2]._callbacks = None
+            self._cancelled -= 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one live event (advancing time to it)."""
+        """Process exactly one live event (advancing time to it).
+
+        This is the reference implementation of event dispatch;
+        :meth:`run` / :meth:`run_process` inline the same sequence.
+        """
         self._discard_cancelled()
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _key, event = heapq.heappop(self._queue)
         if when < self._now - 1e-9:
             raise SimulationError("event scheduled in the past")
         self._advance(when)
-        callbacks = event.callbacks
-        event.callbacks = None  # mark processed
+        callbacks = event._callbacks
+        event._callbacks = None  # mark processed
         assert callbacks is not None
         self.events_processed += 1
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not getattr(event, "_defused", False) \
-                and not callbacks:
+        if type(callbacks) is list:
+            for callback in callbacks:
+                callback(event)
+            had_waiters = bool(callbacks)
+        elif callbacks is _NO_WAITERS:
+            had_waiters = False
+        else:
+            callbacks(event)
+            had_waiters = True
+        if not event._ok and not event._defused and not had_waiters:
             # A failure nobody waited on must not pass silently.
             raise event._value
 
@@ -493,29 +679,101 @@ class Environment:
         """Run until the queue drains or simulated time reaches *until*."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self.peek() != float("inf"):
-            if until is not None and self._queue[0][0] > until:
-                self._advance(until)
-                return
-            self.step()
+        queue = self._queue
+        pop = heapq.heappop
+        hooks = self._time_hooks
+        no_waiters = _NO_WAITERS
+        while queue:
+            entry = queue[0]
+            event = entry[2]
+            if event.cancelled:
+                pop(queue)
+                event._callbacks = None
+                self._cancelled -= 1
+                continue
+            when = entry[0]
+            if until is not None and when > until:
+                break
+            pop(queue)
+            if when > self._now:
+                if hooks:
+                    self._advance(when)
+                else:
+                    self._now = when
+            elif when < self._now - 1e-9:
+                raise SimulationError("event scheduled in the past")
+            callbacks = event._callbacks
+            event._callbacks = None
+            self.events_processed += 1
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused and not callbacks:
+                    raise event._value
+            elif callbacks is no_waiters:
+                if not event._ok and not event._defused:
+                    raise event._value
+            else:
+                callbacks(event)
         if until is not None:
             self._advance(until)
 
     def run_process(self, process: Process,
                     until: Optional[float] = None) -> Any:
         """Run until *process* completes; return its value or raise."""
-        while not process.triggered:
-            when = self.peek()
-            if when == float("inf"):
+        queue = self._queue
+        pop = heapq.heappop
+        hooks = self._time_hooks
+        no_waiters = _NO_WAITERS
+        draining = False
+        while True:
+            if process._ok is not None and not draining:
+                # Drain the zero-delay completion event so joiners observe
+                # it too, then stop.
+                draining = True
+            entry = None
+            while queue:
+                entry = queue[0]
+                if entry[2].cancelled:
+                    pop(queue)
+                    entry[2]._callbacks = None
+                    self._cancelled -= 1
+                    entry = None
+                    continue
+                break
+            if entry is None:
+                if draining:
+                    break
                 raise SimulationError(
                     f"deadlock: {process!r} cannot complete, queue empty")
-            if until is not None and when > until:
+            when = entry[0]
+            if draining and when > self._now:
+                break
+            if not draining and until is not None and when > until:
                 raise SimulationError(
                     f"{process!r} did not finish by t={until}")
-            self.step()
-        # Drain the zero-delay completion event so joiners observe it too.
-        while self.peek() <= self._now:
-            self.step()
-        if process.ok:
-            return process.value
-        raise process.value
+            pop(queue)
+            event = entry[2]
+            if when > self._now:
+                if hooks:
+                    self._advance(when)
+                else:
+                    self._now = when
+            elif when < self._now - 1e-9:
+                raise SimulationError("event scheduled in the past")
+            callbacks = event._callbacks
+            event._callbacks = None
+            self.events_processed += 1
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused and not callbacks:
+                    raise event._value
+            elif callbacks is no_waiters:
+                if not event._ok and not event._defused:
+                    raise event._value
+            else:
+                callbacks(event)
+        if process._ok:
+            return process._value
+        raise process._value

@@ -34,13 +34,13 @@ cgroup shares (matching its user-space design).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set
+from typing import Deque, List, Optional, Set, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.stats import Ewma
 from repro.common.units import TIME_EPSILON, clamp
 from repro.sim.engine import CpuEngineBase
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Environment, Event, Timeout
 from repro.sim.primitives import Store
 
 
@@ -80,12 +80,17 @@ class SfsCpu(CpuEngineBase):
                  initial_slice_ms: float = 5.0,
                  promotion_threshold_ms: float = 100.0,
                  background_slice_factor: float = 10.0,
-                 iat_alpha: float = 0.3) -> None:
+                 iat_alpha: float = 0.3,
+                 coalesce: bool = True) -> None:
         if cores < 1:
             raise ValueError(f"cores must be >= 1, got {cores}")
         if min_slice_ms <= 0 or max_slice_ms < min_slice_ms:
             raise ValueError("invalid slice bounds")
         super().__init__(env, int(cores))
+        #: Elide provably-unobservable kernel events (see _core_loop); the
+        #: flag exists so the regression tests can run the uncoalesced
+        #: discipline side by side and assert identical schedules.
+        self._coalesce = coalesce
         self.min_slice_ms = min_slice_ms
         self.max_slice_ms = max_slice_ms
         self.promotion_threshold_ms = promotion_threshold_ms
@@ -200,27 +205,102 @@ class SfsCpu(CpuEngineBase):
             raise SimulationError("SFS signalled with no queued task")
         return task, min(quantum, task.remaining)
 
-    def _core_loop(self, core_index: int):
+    def _plan_slices(self, task: SfsTask,
+                     quantum: float) -> Tuple[List[float], float]:
+        """Plan the run of back-to-back slices *task* gets from one timer.
+
+        Returns ``(slices, fire_at)``: the per-slice charges and the
+        absolute firing time of the single merged timer.  The plan extends
+        beyond the first slice only while every additional slice boundary
+        falls *strictly before* the next scheduled kernel event
+        (``env.peek()``) with both queues empty, no signals in flight and
+        no time hooks installed — under those conditions the sequential
+        discipline would provably run the same task for the same
+        back-to-back slices with nothing able to observe (or perturb) the
+        intermediate boundaries, so merging them into one timer elides
+        their events without changing any slice boundary a task observes.
+        Boundary times accumulate sequentially (``fire += slice``), exactly
+        the float chain the per-slice timers would have produced.
+        """
+        env = self.env
+        fire = env.now + quantum
+        slices = [quantum]
+        remaining = task.remaining - quantum
+        if (remaining <= TIME_EPSILON
+                or self._foreground or self._background
+                or self._stale_signals or len(self._signal)
+                or env._time_hooks):
+            return slices, fire
+        horizon = env.peek()
+        if fire >= horizon:
+            return slices, fire
+        served = task.served + quantum
+        slice_ms = self._slice
+        bg_quantum = slice_ms * self.background_slice_factor
+        promotion = self.promotion_threshold_ms
         while True:
-            yield self._signal.get()
+            nxt = bg_quantum if served >= promotion else slice_ms
+            if remaining < nxt:
+                nxt = remaining
+            boundary = fire + nxt
+            if boundary >= horizon:
+                return slices, fire
+            slices.append(nxt)
+            fire = boundary
+            remaining -= nxt
+            served += nxt
+            if remaining <= TIME_EPSILON:
+                return slices, fire
+
+    def _core_loop(self, core_index: int):
+        env = self.env
+        signal = self._signal
+        running = self._running
+        coalesce = self._coalesce
+        timer: Optional[Timeout] = None
+        while True:
+            yield signal.get()
             task, quantum = self._pick()
             if task is None:
                 continue
-            if task.started_at is None:
-                task.started_at = self.env.now
-            self._running.add(task)
-            yield self.env.timeout(quantum)
-            self._running.discard(task)
-            task.remaining -= quantum
-            task.served += quantum
-            self._busy_core_ms += quantum
-            if task.aborted:
-                continue  # crashed mid-slice: discard without completing
-            if task.remaining <= TIME_EPSILON:
-                task.done.succeed(self.env.now - task.arrived_at)
-                continue
-            if task.served >= self.promotion_threshold_ms:
-                self._background.append(task)
-            else:
-                self._foreground.append(task)
-            self._signal.put(1)
+            # Inner loop: consecutive slices on this core.  Each iteration
+            # arms one timer covering one or more merged slices; when the
+            # end-of-slice wake-up would be the sole event at this instant,
+            # the signal round-trip is elided and the next task is picked
+            # directly (order-preserving: the elided wake event would have
+            # been the next event processed, and core identity is not
+            # observable).
+            while True:
+                if task.started_at is None:
+                    task.started_at = env.now
+                running.add(task)
+                if coalesce:
+                    slices, fire = self._plan_slices(task, quantum)
+                else:
+                    slices, fire = [quantum], env.now + quantum
+                if timer is not None and timer._callbacks is None:
+                    timer.reset(0.0, at=fire)
+                else:
+                    timer = env.timeout_at(fire)
+                yield timer
+                running.discard(task)
+                busy = self._busy_core_ms
+                for charge in slices:
+                    task.remaining -= charge
+                    task.served += charge
+                    busy += charge
+                self._busy_core_ms = busy
+                if task.aborted:
+                    break  # crashed mid-slice: discard without completing
+                if task.remaining <= TIME_EPSILON:
+                    task.done.succeed(env.now - task.arrived_at)
+                    break
+                if task.served >= self.promotion_threshold_ms:
+                    self._background.append(task)
+                else:
+                    self._foreground.append(task)
+                if coalesce and env.peek() > env.now:
+                    task, quantum = self._pick()
+                    continue
+                signal.put(1)
+                break

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+import io
+import json
+
 from repro.baselines import VanillaScheduler
 from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.obs import Observability
+from repro.obs.trace import write_jsonl
 from repro.platformsim import run_experiment
 from repro.workload import cpu_workload_trace, fib_function_spec
 
@@ -50,6 +55,28 @@ class TestDeterminism:
         assert fingerprint(first) == fingerprint(second)
         assert [i.responded_ms for i in first.invocations] == \
             [i.responded_ms for i in second.invocations]
+
+    def test_serialized_artifacts_byte_identical_across_runs(self):
+        # Stronger than tuple equality: the *serialized* artifacts (span
+        # JSONL, metrics JSON, latency JSON) of two same-seed runs must be
+        # byte-for-byte equal — the optimization pass (slotted events,
+        # lazy callbacks, live clock gauge, timer reuse) may not perturb
+        # float formatting, ordering, or metric presence anywhere.
+        def serialized():
+            trace = cpu_workload_trace(total=80)
+            obs = Observability(tracing=True)
+            result = run_experiment(FaaSBatchScheduler(), trace,
+                                    [fib_function_spec()], obs=obs)
+            spans = io.StringIO()
+            write_jsonl(spans, result.trace)
+            return (spans.getvalue().encode(),
+                    json.dumps(result.metrics.snapshot(),
+                               sort_keys=True).encode(),
+                    json.dumps([[i.invocation_id, i.response_latency_ms]
+                                for i in result.invocations]).encode(),
+                    result.kernel_events)
+
+        assert serialized() == serialized()
 
     def test_different_seeds_differ(self):
         spec = fib_function_spec()

@@ -126,3 +126,62 @@ class TestDiscipline:
             SfsCpu(env, cores=0)
         with pytest.raises(ValueError):
             SfsCpu(env, cores=1, min_slice_ms=10.0, max_slice_ms=5.0)
+
+
+class TestSliceCoalescing:
+    """PR-5: merged slice timers must not move any observable boundary.
+
+    With ``coalesce=True`` (the default) the core loop merges adjacent
+    slice timers whenever occupancy cannot change before they fire, and
+    skips the timer entirely when it would fire at ``now``.  The observed
+    schedule — who finishes when — must be bit-identical to the naive
+    one-timer-per-slice discipline, while the kernel processes
+    substantially fewer events.
+    """
+
+    #: A short burst followed by a long solo tail on two cores: exercises
+    #:   - contended slicing while the shorts arrive (no merging possible —
+    #:     every boundary is a potential preemption point),
+    #:   - promotion of the long task to background,
+    #:   - the solo stretch where adjacent slices merge aggressively.
+    SPECS = ([("long", 600.0, 0.0)]
+             + [(f"short{i}", 8.0, 10.0 * i) for i in range(6)])
+
+    def _run(self, coalesce):
+        from repro.sim.kernel import Environment
+        env = Environment()
+        cpu = SfsCpu(env, cores=2, coalesce=coalesce)
+        finished = submit_and_run(env, cpu, self.SPECS)
+        return finished, env.events_processed
+
+    def test_schedule_identical_with_fewer_events(self):
+        merged, merged_events = self._run(coalesce=True)
+        naive, naive_events = self._run(coalesce=False)
+        # Bit-identical completion schedule (no approx: exact floats).
+        assert merged == naive
+        # And a real event-count reduction, not a marginal one.
+        assert merged_events < naive_events
+        reduction = 1.0 - merged_events / naive_events
+        assert reduction >= 0.20, (merged_events, naive_events)
+
+    def test_single_long_task_collapses_to_few_events(self):
+        from repro.sim.kernel import Environment
+        env = Environment()
+        cpu = SfsCpu(env, cores=1, coalesce=True)
+        finished = submit_and_run(env, cpu, [("solo", 400.0, 0.0)])
+        assert finished["solo"] == pytest.approx(400.0)
+        # A solo task with no competition needs only a handful of events,
+        # not one per adaptive slice.
+        assert env.events_processed < 20
+
+    def test_time_hooks_disable_merging_but_not_correctness(self):
+        from repro.sim.kernel import Environment
+        samples = []
+        env = Environment()
+        env.add_time_hook(lambda _old, now: samples.append(now))
+        cpu = SfsCpu(env, cores=2, coalesce=True)
+        finished = submit_and_run(env, cpu, self.SPECS)
+        naive, _ = self._run(coalesce=False)
+        assert finished == naive
+        # Hooked runs still observe every slice boundary.
+        assert samples == sorted(samples)

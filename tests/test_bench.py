@@ -7,10 +7,12 @@ import json
 import pytest
 
 from repro.bench import (
+    BASELINE_V1,
     BENCH_SCHEMA,
     OBS_RUN_LABEL,
     BenchConfig,
     TILE_INVOCATIONS,
+    _baseline_table,
     bench_trace,
     run_bench,
     validate_report,
@@ -53,8 +55,10 @@ class TestBenchTrace:
 class TestBenchReport:
     @pytest.fixture(scope="class")
     def report(self):
+        # Inline mode: the report shape is identical to subprocess mode
+        # (modulo rss_isolated) and the suite stays fast.
         return run_bench(BenchConfig(invocations=60, functions=2, seed=13,
-                                     window_ms=150.0))
+                                     window_ms=150.0), isolate=False)
 
     def test_schema_validates(self, report):
         validate_report(report)
@@ -69,6 +73,10 @@ class TestBenchReport:
             ("FaaSBatch", "incremental"), ("FaaSBatch", "legacy"),
             (OBS_RUN_LABEL, "incremental"),
         }
+
+    def test_inline_mode_marks_rss_unisolated(self, report):
+        assert report["isolation"] == "inline"
+        assert all(row["rss_isolated"] is False for row in report["runs"])
 
     def test_obs_overhead_block(self, report):
         overhead = report["obs_overhead"]
@@ -102,6 +110,11 @@ class TestBenchReport:
         assert speedup["overall_wall_clock"] > 0
         assert speedup["max"] == max(speedup["per_scheduler"].values())
 
+    def test_baseline_null_off_scenario(self, report):
+        # The small test scenario differs from the committed baseline's,
+        # so no speedup-vs-baseline table is emitted.
+        assert report["baseline"] is None
+
     def test_write_report_round_trips(self, report, tmp_path):
         path = tmp_path / "BENCH_sim.json"
         write_report(report, str(path))
@@ -111,10 +124,89 @@ class TestBenchReport:
 
     def test_skip_legacy_omits_speedup(self):
         report = run_bench(BenchConfig(invocations=40, functions=2),
-                           skip_legacy=True)
+                           skip_legacy=True, isolate=False)
         validate_report(report)
         assert report["speedup"] is None
         assert {r["engine"] for r in report["runs"]} == {"incremental"}
+
+
+class TestSubprocessIsolation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(BenchConfig(invocations=40, functions=2),
+                         skip_legacy=True, isolate=True, parallel=2)
+
+    def test_schema_validates(self, report):
+        validate_report(report)
+        assert report["isolation"] == "subprocess"
+        assert all(row["rss_isolated"] is True for row in report["runs"])
+
+    def test_matches_inline_simulated_results(self, report):
+        inline = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True, isolate=False)
+        key = lambda r: (r["scheduler"], r["engine"])  # noqa: E731
+        sub_rows = {key(r): r for r in report["runs"]}
+        for row in inline["runs"]:
+            other = sub_rows[key(row)]
+            assert other["sim_completion_ms"] == row["sim_completion_ms"]
+            assert other["kernel_events"] == row["kernel_events"]
+            assert other["invocations"] == row["invocations"]
+
+    def test_canonical_row_order(self, report):
+        assert [r["scheduler"] for r in report["runs"]] \
+            == ["Vanilla", "SFS", "Kraken", "FaaSBatch", OBS_RUN_LABEL]
+
+
+class TestProfile:
+    def test_profile_rows_embedded(self):
+        report = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True, isolate=False, profile_top=5)
+        validate_report(report)
+        for row in report["runs"]:
+            assert row["profiled"] is True
+            top = row["profile_top"]
+            assert 0 < len(top) <= 5
+            for hotspot in top:
+                assert hotspot["cumtime_s"] >= hotspot["tottime_s"] - 1e-9
+                assert isinstance(hotspot["function"], str)
+        # Profiled wall-clocks measure the profiler: never compare them
+        # against the committed baseline.
+        assert report["baseline"] is None
+
+
+class TestBaselineTable:
+    def _synthetic_runs(self, factor=2.0):
+        runs = []
+        for (scheduler, engine), (wall, events) in BASELINE_V1.items():
+            runs.append({"scheduler": scheduler, "engine": engine,
+                         "wall_clock_s": wall / factor,
+                         "kernel_events": events})
+        return runs
+
+    def test_speedup_against_committed_numbers(self):
+        table = _baseline_table(self._synthetic_runs(2.0), BenchConfig())
+        aggregate = table["aggregate_events_per_sec"]
+        assert aggregate["speedup"] == pytest.approx(2.0, abs=0.02)
+        assert aggregate["all_cells_speedup"] == pytest.approx(2.0, abs=0.02)
+        assert aggregate["cells"] == sum(
+            1 for (_, engine) in BASELINE_V1 if engine == "incremental")
+        assert aggregate["all_cells"] == len(BASELINE_V1)
+        assert len(table["per_cell"]) == len(BASELINE_V1)
+        for cell in table["per_cell"].values():
+            assert cell["wall_clock_speedup"] == pytest.approx(2.0,
+                                                               abs=0.01)
+            assert cell["events_per_sec_speedup"] == pytest.approx(2.0,
+                                                                   abs=0.01)
+
+    def test_none_when_config_differs(self):
+        runs = self._synthetic_runs()
+        assert _baseline_table(runs, BenchConfig(invocations=99)) is None
+
+    def test_profiled_rows_excluded(self):
+        runs = self._synthetic_runs()
+        for row in runs:
+            row["profiled"] = True
+        assert _baseline_table(runs, BenchConfig()) is None
 
 
 class TestValidateReport:
@@ -124,14 +216,28 @@ class TestValidateReport:
 
     def test_rejects_missing_speedup_with_legacy_column(self):
         report = run_bench(BenchConfig(invocations=40, functions=2),
-                           skip_legacy=True)
+                           skip_legacy=True, isolate=False)
         report["engines"] = ["incremental", "legacy"]
         with pytest.raises(ValueError):
             validate_report(report)
 
     def test_rejects_negative_metric(self):
         report = run_bench(BenchConfig(invocations=40, functions=2),
-                           skip_legacy=True)
+                           skip_legacy=True, isolate=False)
         report["runs"][0]["wall_clock_s"] = -1.0
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_rejects_missing_rss_isolated(self):
+        report = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True, isolate=False)
+        del report["runs"][0]["rss_isolated"]
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_rejects_missing_baseline_key(self):
+        report = run_bench(BenchConfig(invocations=40, functions=2),
+                           skip_legacy=True, isolate=False)
+        del report["baseline"]
         with pytest.raises(ValueError):
             validate_report(report)
