@@ -77,7 +77,10 @@ from repro.workload.trace import Trace, TraceRecord
 #: v2 added the obs-enabled FaaSBatch run and the ``obs_overhead`` block.
 #: v3 added subprocess-per-cell isolation (honest per-cell RSS), optional
 #: per-cell cProfile hotspots, and the speedup-vs-committed-baseline table.
-BENCH_SCHEMA = "faasbatch-bench/v3"
+#: v3.1 added the sharded-cluster ``cluster_cells`` section (a report may
+#: carry ``runs``, ``cluster_cells`` or both), atomic report writes and a
+#: loader that rejects partial artifacts.
+BENCH_SCHEMA = "faasbatch-bench/v3.1"
 
 #: Scheduler label of the observability-overhead run (tracing + sampling
 #: on).  Distinct from "FaaSBatch" so the (scheduler, engine) cells stay
@@ -529,11 +532,144 @@ def _baseline_table(runs: List[Dict[str, object]],
     }
 
 
+# -- sharded cluster cells (schema v3.1) -------------------------------------------
+
+
+def cluster_cell_configs() -> Dict[str, object]:
+    """Named sharded-replay scenarios ``repro bench --cell`` can run.
+
+    * ``azure-smoke`` — 20k invocations over 2 shards; finishes in under a
+      minute and is cheap enough for CI, where it cross-checks the merged
+      stats against a single-shard run of the same scenario.
+    * ``azure-full`` — the 1.98M-invocation Azure-shaped replay (495
+      synthesised replay minutes, ~8.25 simulated hours) over 4 shards;
+      the scale target the streaming/sharding machinery exists for.
+    """
+    from repro.cluster.sharded import ShardedClusterConfig
+    return {
+        "azure-smoke": ShardedClusterConfig(
+            invocations=20_000, functions=8, seed=13,
+            tile_invocations=4000, workers=4, shards=2),
+        "azure-full": ShardedClusterConfig(
+            invocations=1_980_000, functions=8, seed=13,
+            tile_invocations=4000, workers=8, shards=4),
+    }
+
+
+def run_cluster_cell(cell: str,
+                     log: Optional[Callable[[str], None]] = None,
+                     isolate: bool = True,
+                     shards: Optional[int] = None,
+                     workers: Optional[int] = None) -> Dict[str, object]:
+    """Run one named sharded scenario; returns its ``cluster_cells`` row.
+
+    ``shards``/``workers`` override the named scenario's topology (the
+    CLI's ``--shards``/``--workers``) without changing its workload.
+    """
+    configs = cluster_cell_configs()
+    if cell not in configs:
+        raise ValueError(f"unknown cluster cell {cell!r}; choose from "
+                         f"{sorted(configs)}")
+    from dataclasses import replace
+
+    from repro.cluster.sharded import run_sharded_cluster
+    config = configs[cell]
+    overrides = {}
+    if workers is not None:
+        overrides["workers"] = workers
+    if shards is not None:
+        overrides["shards"] = shards
+    if overrides:
+        config = replace(config, **overrides)
+    result = run_sharded_cluster(config, isolate=isolate, log=log)
+    sink = result.sink
+    per_shard = [{"shard": s.shard_index,
+                  "submitted": s.submitted,
+                  "wall_clock_s": s.wall_clock_s,
+                  "peak_rss_mb": s.peak_rss_mb,
+                  "kernel_events": s.kernel_events,
+                  "sim_completion_ms": s.completion_ms}
+                 for s in result.shard_results]
+    return {
+        "cell": cell,
+        "config": config.to_dict(),
+        "isolation": "subprocess" if isolate else "inline",
+        "invocations": sink.completed + sink.failed,
+        "completed": sink.completed,
+        "failed": sink.failed,
+        "wall_clock_s": result.wall_clock_s,
+        "invocations_per_sec": round(
+            (sink.completed + sink.failed) / result.wall_clock_s, 1),
+        "sim_completion_ms": result.completion_ms,
+        "kernel_events": result.kernel_events,
+        "max_shard_rss_mb": result.max_shard_rss_mb,
+        "per_shard": per_shard,
+        "latency_ms": sink.summary(),
+        "load_imbalance": round(
+            result.to_cluster_result().load_imbalance(), 3),
+    }
+
+
+def cluster_report(cell_rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap cluster-cell rows as a standalone v3.1 report."""
+    if not cell_rows:
+        raise ValueError("need at least one cluster cell row")
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": dict(cell_rows[0]["config"]),  # type: ignore[arg-type]
+        "cluster_cells": cell_rows,
+    }
+
+
+def _validate_cluster_cells(cells: object) -> None:
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("cluster_cells must be a non-empty list when "
+                         "present")
+    numeric = ("invocations", "completed", "failed", "wall_clock_s",
+               "invocations_per_sec", "sim_completion_ms", "kernel_events",
+               "max_shard_rss_mb", "load_imbalance")
+    for row in cells:
+        if not isinstance(row, dict):
+            raise ValueError("each cluster cell must be an object")
+        if not isinstance(row.get("cell"), str):
+            raise ValueError("cluster cell needs a string 'cell' name")
+        if not isinstance(row.get("config"), dict):
+            raise ValueError("cluster cell needs a config object")
+        if row.get("isolation") not in ("subprocess", "inline"):
+            raise ValueError("cluster cell isolation must be 'subprocess' "
+                             "or 'inline'")
+        for key in numeric:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"cluster cell {row.get('cell')!r}: {key} must be a "
+                    "non-negative number")
+        shards = row.get("per_shard")
+        if not isinstance(shards, list) or not shards:
+            raise ValueError("cluster cell needs a non-empty per_shard "
+                             "list")
+        for shard in shards:
+            if not isinstance(shard, dict):
+                raise ValueError("per_shard entries must be objects")
+            for key in ("shard", "submitted", "wall_clock_s",
+                        "peak_rss_mb"):
+                if not isinstance(shard.get(key), (int, float)):
+                    raise ValueError(f"per_shard.{key} must be a number")
+        latency = row.get("latency_ms")
+        if not isinstance(latency, dict):
+            raise ValueError("cluster cell needs a latency_ms summary")
+        for key in ("p50", "p95", "p99", "mean"):
+            if not isinstance(latency.get(key), (int, float)):
+                raise ValueError(f"latency_ms.{key} must be a number")
+
+
 def validate_report(report: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless *report* is a well-formed bench report.
 
     Used by the CI smoke job (and the unit tests) to guard the format that
-    downstream BENCH tooling will parse.
+    downstream BENCH tooling will parse.  A v3.1 report carries a ``runs``
+    section (the scheduler × engine grid), a ``cluster_cells`` section
+    (sharded cluster replays), or both.
     """
     if report.get("schema") != BENCH_SCHEMA:
         raise ValueError(f"schema must be {BENCH_SCHEMA!r}, "
@@ -541,15 +677,26 @@ def validate_report(report: Dict[str, object]) -> None:
     config = report.get("config")
     if not isinstance(config, dict):
         raise ValueError("missing config object")
-    for key in ("invocations", "functions", "seed", "window_ms"):
+    for key in ("invocations", "functions", "seed"):
         if not isinstance(config.get(key), (int, float)):
             raise ValueError(f"config.{key} must be a number")
+    runs = report.get("runs")
+    cluster_cells = report.get("cluster_cells")
+    if not (isinstance(runs, list) and runs) \
+            and not (isinstance(cluster_cells, list) and cluster_cells):
+        raise ValueError("report needs a non-empty 'runs' or "
+                         "'cluster_cells' section")
+    if cluster_cells is not None:
+        _validate_cluster_cells(cluster_cells)
+    if runs is None:
+        return
+    if not isinstance(config.get("window_ms"), (int, float)):
+        raise ValueError("config.window_ms must be a number")
     if report.get("isolation") not in ("subprocess", "inline"):
         raise ValueError("isolation must be 'subprocess' or 'inline' "
                          "(schema v3)")
-    runs = report.get("runs")
     if not isinstance(runs, list) or not runs:
-        raise ValueError("runs must be a non-empty list")
+        raise ValueError("runs must be a non-empty list when present")
     numeric = ("invocations", "wall_clock_s", "sim_completion_ms",
                "kernel_events", "events_per_sec", "invocations_per_sec",
                "peak_rss_mb")
@@ -619,10 +766,54 @@ def validate_report(report: Dict[str, object]) -> None:
 
 
 def write_report(report: Dict[str, object], path: str) -> None:
+    """Validate and atomically publish *report* at *path*.
+
+    The JSON is written to a sibling temp file and renamed into place, so
+    a crash mid-write (a killed cell subprocess, a full disk, Ctrl-C)
+    never leaves a truncated artifact under the published name — the old
+    report, if any, survives intact.
+    """
     validate_report(report)
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=1)
-        handle.write("\n")
+    temporary = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(temporary, "w") as handle:
+            json.dump(report, handle, indent=1)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read and validate a bench report, rejecting partial artifacts.
+
+    A truncated or malformed file (the signature of a writer that died
+    mid-run before atomic writes, or of a corrupted download) raises
+    ``ValueError`` naming the file and the likely cause instead of
+    surfacing a bare JSON traceback to downstream tooling.
+    """
+    with open(path) as handle:
+        content = handle.read()
+    try:
+        report = json.loads(content)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not valid JSON ({exc.msg} at char {exc.pos}); the "
+            "artifact is partial or corrupt — likely a bench run that "
+            "died mid-write.  Delete it and re-run the bench.") from None
+    if not isinstance(report, dict):
+        raise ValueError(f"{path} does not contain a report object")
+    try:
+        validate_report(report)
+    except ValueError as exc:
+        raise ValueError(f"{path} failed validation: {exc}") from None
+    return report
 
 
 __all__ = [
@@ -631,7 +822,11 @@ __all__ = [
     "OBS_RUN_LABEL",
     "BenchConfig",
     "bench_trace",
+    "cluster_cell_configs",
+    "cluster_report",
+    "load_report",
     "run_bench",
+    "run_cluster_cell",
     "validate_report",
     "write_report",
 ]

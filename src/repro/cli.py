@@ -384,8 +384,35 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_cell(args: argparse.Namespace) -> int:
+    """``repro bench --cell NAME``: one sharded cluster replay."""
+    from repro.bench import cluster_report, run_cluster_cell, write_report
+    row = run_cluster_cell(args.cell, log=print,
+                           isolate=not args.inline,
+                           shards=args.shards, workers=args.workers)
+    write_report(cluster_report([row]), args.out)
+    config = row["config"]
+    latency = row["latency_ms"]
+    headers = ["cell", "inv", "workers", "shards", "wall_s", "inv/s",
+               "max_shard_rss_MB", "p50_ms", "p99_ms", "imbalance"]
+    table_row = [row["cell"], row["invocations"], config["workers"],
+                 config["shards"], row["wall_clock_s"],
+                 row["invocations_per_sec"], row["max_shard_rss_mb"],
+                 latency["p50"], latency["p99"], row["load_imbalance"]]
+    print(render_table(headers, [table_row], title="Sharded cluster replay"))
+    for shard in row["per_shard"]:
+        print(f"  shard {shard['shard']}: {shard['submitted']} invocations, "
+              f"{shard['wall_clock_s']} s, peak rss "
+              f"{shard['peak_rss_mb']} MB")
+    exact = "exact" if latency.get("exact") else "histogram-approximated"
+    print(f"Merged latency sample: {exact}; report written to {args.out}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import BenchConfig, run_bench, write_report
+    if args.cell:
+        return _cmd_bench_cell(args)
     config = BenchConfig(invocations=args.invocations,
                          functions=args.functions,
                          seed=args.seed, window_ms=args.window,
@@ -588,6 +615,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dispatch window in ms")
     bench.add_argument("--tile-invocations", type=int, default=4000,
                        help="arrivals per scenario minute (burst density)")
+    bench.add_argument("--cell", default=None, metavar="NAME",
+                       help="run a named sharded cluster cell "
+                            "(azure-smoke, azure-full) instead of the "
+                            "scheduler grid")
+    bench.add_argument("--shards", type=int, default=None,
+                       help="override the cell's shard count")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="override the cell's global worker count")
     bench.add_argument("--out", default="BENCH_sim.json",
                        help="report path (JSON)")
     bench.add_argument("--skip-legacy", action="store_true",

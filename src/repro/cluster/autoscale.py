@@ -1,0 +1,83 @@
+"""Worker autoscaling for cluster experiments.
+
+The paper fixes its machine count; this layer adds the knob real
+platforms turn instead: watch cluster pressure, add workers when it
+stays high.  The experiment runner polls the autoscaler at a fixed
+interval and materialises any workers it asks for (fresh machine +
+platform + scheduler, registered with the balancer via its
+``add_worker`` hook).
+
+Scaling is **additive only**.  Scale-*down* would have to drain in-
+flight invocations and migrate warm containers — machinery the paper
+never describes — so the policy can only request growth, bounded by
+``max_workers``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+class Autoscaler(abc.ABC):
+    """Decides, once per poll interval, how many workers to add."""
+
+    #: How often the experiment polls (simulated milliseconds).
+    check_interval_ms: float = 1_000.0
+
+    @abc.abstractmethod
+    def workers_to_add(self, loads: Sequence[int],
+                       queue_depths: Sequence[int]) -> int:
+        """Return how many workers to add right now (0 = hold).
+
+        ``loads`` are per-worker in-flight invocation counts and
+        ``queue_depths`` per-worker pending request-queue lengths, in
+        worker-index order.  Implementations must be pure in these
+        inputs so runs stay deterministic.
+        """
+
+
+class NullAutoscaler(Autoscaler):
+    """Never scales; useful to exercise the polling path in tests."""
+
+    def workers_to_add(self, loads: Sequence[int],
+                       queue_depths: Sequence[int]) -> int:
+        return 0
+
+
+class ThresholdAutoscaler(Autoscaler):
+    """Add one worker whenever mean in-flight load crosses a threshold.
+
+    The classic queue-pressure rule: if the fleet-wide mean of
+    (in-flight + queued) work per worker exceeds ``load_threshold`` at a
+    poll, request one more worker, up to ``max_workers``.  One worker per
+    poll keeps the response gradual (and deterministic) rather than
+    stepping straight to the cap on the first burst.
+    """
+
+    def __init__(self, max_workers: int, load_threshold: float = 32.0,
+                 check_interval_ms: float = 1_000.0) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}")
+        if load_threshold <= 0:
+            raise ConfigurationError(
+                f"load_threshold must be > 0, got {load_threshold}")
+        if check_interval_ms <= 0:
+            raise ConfigurationError(
+                f"check_interval_ms must be > 0, got {check_interval_ms}")
+        self.max_workers = max_workers
+        self.load_threshold = load_threshold
+        self.check_interval_ms = check_interval_ms
+        #: Poll timestamps (sim ms → worker count) at which growth fired.
+        self.scale_events = []
+
+    def workers_to_add(self, loads: Sequence[int],
+                       queue_depths: Sequence[int]) -> int:
+        current = len(loads)
+        if current >= self.max_workers:
+            return 0
+        pressure = (sum(loads) + sum(queue_depths)) / current
+        return 1 if pressure > self.load_threshold else 0

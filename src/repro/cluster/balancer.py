@@ -17,6 +17,16 @@ Three routing policies:
   worker, spilling to the least-loaded worker above a load threshold.
   *Friendly* to FaaSBatch: a function's burst stays together, maximising
   group sizes and multiplexer reuse.
+* :class:`HashPartitionBalancer` — pure hash routing, never spills.  The
+  only *load-independent* policy: where a request lands depends on the
+  function id alone, so a run can be partitioned across shard processes
+  (each owning a worker subset) and replayed with per-worker results
+  identical to the single-process run (see ``repro.cluster.sharded``).
+
+All policies tie-break deterministically: equal-load candidates resolve
+to the lowest worker index, never to memory addresses (an earlier
+version keyed ties on ``id(worker) % 97``, which reshuffled routing from
+run to run under identical seeds).
 """
 
 from __future__ import annotations
@@ -38,6 +48,11 @@ class Balancer(abc.ABC):
     """Chooses a worker platform for each arriving request."""
 
     name: str = "abstract"
+    #: Whether :meth:`add_worker` keeps this policy's routing meaningful.
+    #: Hash-keyed policies remap function homes when the worker count
+    #: changes; they still *work* after a scale-up, but a function's burst
+    #: may split across its old and new home.
+    supports_scaling: bool = True
 
     def __init__(self, workers: Sequence[ServerlessPlatform]) -> None:
         if not workers:
@@ -48,13 +63,25 @@ class Balancer(abc.ABC):
     def pick(self, function_id: str) -> ServerlessPlatform:
         """Return the worker that should serve the next request."""
 
+    def add_worker(self, worker: ServerlessPlatform) -> None:
+        """Autoscaling hook: start routing to *worker* from now on."""
+        if worker in self.workers:
+            raise ConfigurationError("worker already registered")
+        self.workers.append(worker)
+
     # -- shared helpers ---------------------------------------------------------
 
     @staticmethod
     def load_of(worker: ServerlessPlatform) -> int:
         """In-flight invocations on *worker* (dispatched, not completed)."""
         issued = worker.ids.count("inv")
-        return issued - len(worker.completed)
+        return issued - worker.completed_count
+
+    def least_loaded(self) -> ServerlessPlatform:
+        """Lowest-load worker; ties go to the lowest index (deterministic)."""
+        index = min(range(len(self.workers)),
+                    key=lambda i: (self.load_of(self.workers[i]), i))
+        return self.workers[index]
 
 
 class RoundRobinBalancer(Balancer):
@@ -78,8 +105,7 @@ class LeastLoadedBalancer(Balancer):
     name = "least-loaded"
 
     def pick(self, function_id: str) -> ServerlessPlatform:
-        return min(self.workers, key=lambda w: (self.load_of(w),
-                                                id(w) % 97))
+        return self.least_loaded()
 
 
 class FunctionAffinityBalancer(Balancer):
@@ -108,13 +134,33 @@ class FunctionAffinityBalancer(Balancer):
         if self.load_of(home) < self.spill_threshold:
             return home
         self.spills += 1
-        return min(self.workers, key=self.load_of)
+        # Spills use the same lowest-index tie-break as least-loaded; a
+        # bare min() over platform objects would already be stable, but
+        # routing through the helper keeps one definition of "least
+        # loaded" across policies.
+        return self.least_loaded()
+
+
+class HashPartitionBalancer(Balancer):
+    """Route purely by function-id hash; never consult load, never spill.
+
+    Deliberately load-blind: routing is a pure function of the id and the
+    worker count, which makes runs *partitionable* — worker ``w`` sees the
+    same request sequence whether the other workers live in this process
+    or in another shard.  The sharded cluster runner relies on this.
+    """
+
+    name = "hash-partition"
+
+    def pick(self, function_id: str) -> ServerlessPlatform:
+        return self.workers[stable_hash(function_id) % len(self.workers)]
 
 
 BALANCERS = {
     RoundRobinBalancer.name: RoundRobinBalancer,
     LeastLoadedBalancer.name: LeastLoadedBalancer,
     FunctionAffinityBalancer.name: FunctionAffinityBalancer,
+    HashPartitionBalancer.name: HashPartitionBalancer,
 }
 
 

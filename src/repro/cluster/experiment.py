@@ -5,27 +5,52 @@ and scheduler instance); the cluster gateway replays the trace and routes
 every request through the balancer.  The headline question this answers:
 how much of FaaSBatch's benefit survives routing that scatters a
 function's burst across workers? (See ``benchmarks/test_cluster_routing.py``.)
+
+Scale notes.  The runner accepts a :data:`~repro.workload.trace.TraceLike`
+(materialized or streaming), publishes every completion into a
+:class:`~repro.common.streaming.StreamingResultSink` and, with
+``retain_invocations=False``, drops the per-invocation records — the
+regime the million-invocation sharded replay (``repro.cluster.sharded``)
+runs in.  Workers may be heterogeneous (``machine_sizes``) and a cluster
+can grow mid-run via an :class:`~repro.cluster.autoscale.Autoscaler`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import Scheduler
-from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.errors import ConfigurationError
 from repro.common.stats import SampleStats
+from repro.common.streaming import StreamingResultSink
 from repro.common.units import HOUR
+from repro.cluster.autoscale import Autoscaler
 from repro.cluster.balancer import Balancer, make_balancer
 from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.model.function import FunctionSpec, Invocation
 from repro.platformsim.platform import ServerlessPlatform
 from repro.sim.kernel import Environment
 from repro.sim.machine import Machine, build_cpu
-from repro.workload.trace import Trace
+from repro.workload.trace import TraceLike
 
 #: Builds a fresh scheduler per worker (schedulers hold per-platform state).
 SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass(frozen=True)
+class WorkerSize:
+    """Machine shape of one worker (heterogeneous clusters mix these)."""
+
+    cores: int
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {self.cores}")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(
+                f"memory_gb must be > 0, got {self.memory_gb}")
 
 
 @dataclass
@@ -39,6 +64,11 @@ class ClusterResult:
     per_worker_containers: List[int]
     per_worker_memory_mb: List[float]
     completion_ms: float
+    #: Online accounting (always populated by :func:`run_cluster_experiment`;
+    #: the only latency record when ``retain_invocations=False``).
+    sink: Optional[StreamingResultSink] = None
+    #: ``(sim_ms, new_worker_count)`` for each autoscale growth step.
+    scale_events: List[Tuple[float, int]] = field(default_factory=list)
 
     @property
     def total_containers(self) -> int:
@@ -49,14 +79,29 @@ class ClusterResult:
         return sum(self.per_worker_memory_mb)
 
     def latency_stats(self) -> SampleStats:
+        """End-to-end latency sample (exact while the sink's reservoir is).
+
+        Prefers the online sink — identical to the materialized sample
+        whenever the run fits the reservoir, and the only source once
+        per-invocation records are dropped at scale.
+        """
+        if self.sink is not None:
+            return self.sink.latency_stats()
         return SampleStats(inv.end_to_end_ms for inv in self.invocations)
 
     def load_imbalance(self) -> float:
-        """max/mean of per-worker invocation counts (1.0 = perfect)."""
+        """max/mean of per-worker invocation counts (1.0 = perfect).
+
+        An all-idle cluster (no invocations routed — e.g. a shard that
+        owns no hot workers, or a scale-test warm-up window) is *balanced*,
+        not an error: returns 0.0 rather than raising.
+        """
         counts = self.per_worker_invocations
+        if not counts:
+            return 0.0
         mean = sum(counts) / len(counts)
         if mean == 0:
-            raise SimulationError("no invocations routed")
+            return 0.0
         return max(counts) / mean
 
     def summary_row(self) -> List[object]:
@@ -73,46 +118,77 @@ class ClusterResult:
 
 
 def run_cluster_experiment(scheduler_factory: SchedulerFactory,
-                           trace: Trace,
+                           trace: TraceLike,
                            functions: Sequence[FunctionSpec],
                            workers: int = 4,
                            balancer: str = "function-affinity",
                            calibration: Calibration = DEFAULT_CALIBRATION,
                            timeout_ms: Optional[float] = None,
+                           machine_sizes: Optional[Sequence[WorkerSize]] = None,
+                           autoscaler: Optional[Autoscaler] = None,
+                           retain_invocations: bool = True,
+                           sink: Optional[StreamingResultSink] = None,
                            ) -> ClusterResult:
-    """Run *trace* over a cluster of *workers* identical machines."""
+    """Run *trace* over a cluster of *workers* machines.
+
+    ``machine_sizes`` (cycled over worker index) makes the cluster
+    heterogeneous; omitted, every worker gets the calibration shape.
+    ``autoscaler`` is polled every ``check_interval_ms`` of simulated time
+    and may grow the cluster mid-run (scale-up only).  With
+    ``retain_invocations=False`` no per-invocation record survives the
+    run: all accounting flows through *sink* (one is created when not
+    supplied) and ``result.invocations`` is empty.
+    """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if timeout_ms is None:
         timeout_ms = trace.end_ms + 2.0 * HOUR
+    if sink is None:
+        sink = StreamingResultSink()
     env = Environment()
     platforms: List[ServerlessPlatform] = []
     schedulers: List[Scheduler] = []
-    for _ in range(workers):
+    completed: List[Invocation] = []
+    done_total = [0]
+    all_done = env.event()
+    expected = len(trace)
+
+    def on_complete(invocation: Invocation) -> None:
+        done_total[0] += 1
+        if retain_invocations:
+            completed.append(invocation)
+        if done_total[0] == expected:
+            all_done.succeed(done_total[0])
+
+    def size_of(index: int) -> WorkerSize:
+        if machine_sizes:
+            return machine_sizes[index % len(machine_sizes)]
+        return WorkerSize(cores=calibration.worker_cores,
+                          memory_gb=calibration.worker_memory_gb)
+
+    def spawn_worker() -> ServerlessPlatform:
+        size = size_of(len(platforms))
         scheduler = scheduler_factory()
-        cpu = build_cpu(env, scheduler.cpu_discipline,
-                        calibration.worker_cores)
-        machine = Machine(env, cores=calibration.worker_cores,
-                          memory_gb=calibration.worker_memory_gb, cpu=cpu)
-        platform = ServerlessPlatform(env, machine, calibration)
+        cpu = build_cpu(env, scheduler.cpu_discipline, size.cores)
+        machine = Machine(env, cores=size.cores, memory_gb=size.memory_gb,
+                          cpu=cpu,
+                          retain_memory_series=retain_invocations)
+        platform = ServerlessPlatform(env, machine, calibration,
+                                      retain_completed=retain_invocations)
         for spec in functions:
             platform.register_function(spec)
+        platform.result_sink = sink
+        platform.completion_listeners.append(on_complete)
         scheduler.start(platform)
         platforms.append(platform)
         schedulers.append(scheduler)
+        return platform
+
+    for _ in range(workers):
+        spawn_worker()
 
     router: Balancer = make_balancer(balancer, platforms)
-
-    all_done = env.event()
-    completed: List[Invocation] = []
-
-    def on_complete(invocation: Invocation) -> None:
-        completed.append(invocation)
-        if len(completed) == len(trace):
-            all_done.succeed(len(completed))
-
-    for platform in platforms:
-        platform.completion_listeners.append(on_complete)
+    scale_events: List[Tuple[float, int]] = []
 
     def replay():
         for record in trace:
@@ -123,6 +199,19 @@ def run_cluster_experiment(scheduler_factory: SchedulerFactory,
 
     env.process(replay(), name="cluster-gateway")
 
+    if autoscaler is not None:
+        def autoscale_loop():
+            while True:
+                yield env.timeout(autoscaler.check_interval_ms)
+                loads = [Balancer.load_of(p) for p in platforms]
+                depths = [len(p.request_queue) for p in platforms]
+                grow = autoscaler.workers_to_add(loads, depths)
+                for _ in range(max(0, grow)):
+                    router.add_worker(spawn_worker())
+                    scale_events.append((env.now, len(platforms)))
+
+        env.process(autoscale_loop(), name="cluster-autoscaler")
+
     def waiter():
         yield all_done
 
@@ -131,17 +220,19 @@ def run_cluster_experiment(scheduler_factory: SchedulerFactory,
 
     return ClusterResult(
         balancer_name=router.name,
-        workers=workers,
+        workers=len(platforms),
         invocations=completed,
-        per_worker_invocations=[len(p.completed) for p in platforms],
+        per_worker_invocations=[p.completed_count for p in platforms],
         per_worker_containers=[p.provisioned_containers()
                                for p in platforms],
         per_worker_memory_mb=[p.machine.memory.peak_mb for p in platforms],
-        completion_ms=env.now)
+        completion_ms=env.now,
+        sink=sink,
+        scale_events=scale_events)
 
 
 def compare_balancers(scheduler_factory: SchedulerFactory,
-                      trace: Trace,
+                      trace: TraceLike,
                       functions: Sequence[FunctionSpec],
                       workers: int = 4,
                       balancers: Sequence[str] = ("round-robin",

@@ -1,0 +1,504 @@
+"""Bounded-memory result accounting for million-invocation runs.
+
+The paper's full Azure trace carries ~1.98 M invocations; holding one
+``Invocation`` record per arrival (as :class:`ExperimentResult` and the
+original ``ClusterResult`` did) caps the bench near 50 k.  This module
+provides the *online* alternative: experiments publish each completion
+into a :class:`StreamingResultSink` and drop the record, so memory stays
+flat no matter how long the replay runs.
+
+Three mergeable primitives back the sink:
+
+* :class:`OnlineStats` — count / total / min / max / sum-of-squares.
+* :class:`LogBucketHistogram` — geometric buckets with O(1) insertion;
+  merging sums integer counts, so merged percentiles are *exactly*
+  order-independent.
+* :class:`BoundedReservoir` — a bottom-k sketch: every sample draws a
+  deterministic pseudo-random priority and the reservoir keeps the k
+  smallest.  "k smallest of a union" is associative and commutative, so
+  shard reservoirs merge in any order to the identical sample set.  While
+  fewer than ``capacity`` samples have been seen the reservoir holds the
+  *entire* population and percentile queries are exact — the property the
+  figures pipeline and the CI shard-equivalence check rely on.
+
+Merge semantics (the sharded cluster contract): for any sinks a, b, c
+``merge`` is associative and commutative in every field the percentile and
+count queries read.  Floating-point *totals* (means) are summed pairwise
+and may differ in the last ulp across merge orders; counts, minima,
+maxima, histogram counts and reservoir contents never do.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.stats import SampleStats
+
+#: Default cap on exact samples retained per channel.  50 k floats is
+#: ~400 kB — far below one shard's working set — while keeping the exact
+#: percentile path for every scenario the repo benchmarked before this
+#: module existed.
+DEFAULT_RESERVOIR_CAPACITY = 50_000
+
+#: Geometric histogram defaults: first finite bucket at 0.01 ms, 5 %
+#: growth, enough buckets to pass 10^7 ms (~2.8 simulated hours).
+HISTOGRAM_MIN = 0.01
+HISTOGRAM_GROWTH = 1.05
+HISTOGRAM_BUCKETS = 426
+
+
+class OnlineStats:
+    """Constant-memory scalar moments; mergeable."""
+
+    __slots__ = ("count", "total", "sum_squares", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sum_squares = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            raise ValueError("NaN samples are not allowed")
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sum_squares += value * value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance (may wiggle in the last ulp across merges)."""
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        mu = self.mean
+        return max(0.0, self.sum_squares / self.count - mu * mu)
+
+    def merge(self, other: "OnlineStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.sum_squares += other.sum_squares
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"count": self.count, "total": self.total,
+                "sum_squares": self.sum_squares,
+                "min": None if self.count == 0 else self.minimum,
+                "max": None if self.count == 0 else self.maximum}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "OnlineStats":
+        stats = cls()
+        stats.count = int(payload["count"])  # type: ignore[arg-type]
+        stats.total = float(payload["total"])  # type: ignore[arg-type]
+        stats.sum_squares = float(payload["sum_squares"])  # type: ignore[arg-type]
+        if stats.count:
+            stats.minimum = float(payload["min"])  # type: ignore[arg-type]
+            stats.maximum = float(payload["max"])  # type: ignore[arg-type]
+        return stats
+
+
+class LogBucketHistogram:
+    """Sparse geometric-bucket histogram with order-independent merge.
+
+    Bucket ``i`` covers ``[min * growth**i, min * growth**(i+1))``; values
+    below ``min`` (including 0) land in the dedicated underflow bucket and
+    values beyond the last edge in the overflow bucket.  Counts are
+    integers, so merged quantiles are bit-identical under any merge order.
+    """
+
+    __slots__ = ("minimum", "growth", "buckets", "_log_growth", "counts",
+                 "underflow", "total")
+
+    def __init__(self, minimum: float = HISTOGRAM_MIN,
+                 growth: float = HISTOGRAM_GROWTH,
+                 buckets: int = HISTOGRAM_BUCKETS) -> None:
+        if minimum <= 0 or growth <= 1.0 or buckets < 1:
+            raise ValueError(
+                f"bad histogram shape: min={minimum} growth={growth} "
+                f"buckets={buckets}")
+        self.minimum = minimum
+        self.growth = growth
+        self.buckets = buckets
+        self._log_growth = math.log(growth)
+        self.counts: Dict[int, int] = {}
+        self.underflow = 0
+        self.total = 0
+
+    def _index(self, value: float) -> int:
+        index = int(math.log(value / self.minimum) / self._log_growth)
+        if index >= self.buckets:
+            return self.buckets - 1
+        # Guard the floor against log rounding right at a bucket edge.
+        if value < self.minimum * self.growth ** index:
+            index -= 1
+        return max(index, 0)
+
+    def observe(self, value: float) -> None:
+        if value < 0 or math.isnan(value):
+            raise ValueError(f"histogram samples must be >= 0, got {value}")
+        self.total += 1
+        if value < self.minimum:
+            self.underflow += 1
+            return
+        index = self._index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+
+    def lower_edge(self, index: int) -> float:
+        return self.minimum * self.growth ** index
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: geometric midpoint of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        rank = q * (self.total - 1)
+        seen = self.underflow
+        if rank < seen:
+            return 0.0
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if rank < seen:
+                return self.lower_edge(index) * math.sqrt(self.growth)
+        return self.lower_edge(max(self.counts))  # pragma: no cover - guard
+
+    def compatible(self, other: "LogBucketHistogram") -> bool:
+        return (self.minimum == other.minimum and self.growth == other.growth
+                and self.buckets == other.buckets)
+
+    def merge(self, other: "LogBucketHistogram") -> None:
+        if not self.compatible(other):
+            raise ValueError("cannot merge histograms with different shapes")
+        self.underflow += other.underflow
+        self.total += other.total
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"min": self.minimum, "growth": self.growth,
+                "buckets": self.buckets, "underflow": self.underflow,
+                "counts": {str(k): v for k, v in sorted(self.counts.items())}}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LogBucketHistogram":
+        histogram = cls(minimum=float(payload["min"]),  # type: ignore[arg-type]
+                        growth=float(payload["growth"]),  # type: ignore[arg-type]
+                        buckets=int(payload["buckets"]))  # type: ignore[arg-type]
+        histogram.underflow = int(payload["underflow"])  # type: ignore[arg-type]
+        counts = payload["counts"]
+        histogram.counts = {int(k): int(v)
+                            for k, v in counts.items()}  # type: ignore[union-attr]
+        histogram.total = (histogram.underflow
+                           + sum(histogram.counts.values()))
+        return histogram
+
+
+class BoundedReservoir:
+    """Bottom-k sample sketch with an associative, commutative merge.
+
+    Every sample draws a priority from a seeded RNG; the reservoir keeps
+    the ``capacity`` samples with the *smallest* priorities.  The kept set
+    of a union is independent of insertion or merge order, so shard
+    reservoirs always merge to the identical sample multiset.  Until
+    ``seen`` exceeds ``capacity`` nothing has been evicted and
+    :meth:`values` is the exact population.
+    """
+
+    __slots__ = ("capacity", "seen", "_heap", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+                 seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        # Max-heap on priority via negation: the root is the eviction
+        # candidate (largest priority currently kept).
+        self._heap: List[Tuple[float, float]] = []
+        self._rng = random.Random(seed)
+
+    @property
+    def exact(self) -> bool:
+        """True while the reservoir still holds every observed sample."""
+        return self.seen <= self.capacity
+
+    def observe(self, value: float) -> None:
+        self.seen += 1
+        self._insert(self._rng.random(), float(value))
+
+    def _insert(self, priority: float, value: float) -> None:
+        item = (-priority, value)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, item)
+        elif item > self._heap[0]:
+            heapq.heapreplace(self._heap, item)
+
+    def values(self) -> List[float]:
+        """Kept samples, sorted by value (deterministic)."""
+        return sorted(value for _neg, value in self._heap)
+
+    def merge(self, other: "BoundedReservoir") -> None:
+        if other.capacity != self.capacity:
+            raise ValueError("cannot merge reservoirs of different capacity")
+        self.seen += other.seen
+        for neg_priority, value in other._heap:
+            self._insert(-neg_priority, value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"capacity": self.capacity, "seen": self.seen,
+                "items": sorted([-neg, value]
+                                for neg, value in self._heap)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object],
+                  seed: int = 0) -> "BoundedReservoir":
+        reservoir = cls(capacity=int(payload["capacity"]),  # type: ignore[arg-type]
+                        seed=seed)
+        reservoir.seen = int(payload["seen"])  # type: ignore[arg-type]
+        for priority, value in payload["items"]:  # type: ignore[union-attr]
+            reservoir._insert(float(priority), float(value))
+        return reservoir
+
+
+class ChannelStats:
+    """One named metric channel: moments + histogram + exact-sample sketch."""
+
+    __slots__ = ("stats", "histogram", "reservoir")
+
+    def __init__(self, reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+                 seed: int = 0) -> None:
+        self.stats = OnlineStats()
+        self.histogram = LogBucketHistogram()
+        self.reservoir = BoundedReservoir(capacity=reservoir_capacity,
+                                          seed=seed)
+
+    def observe(self, value: float) -> None:
+        self.stats.observe(value)
+        self.histogram.observe(value)
+        self.reservoir.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    @property
+    def exact(self) -> bool:
+        return self.reservoir.exact
+
+    def percentile(self, q: float) -> float:
+        """Percentile in [0, 100]: exact below the reservoir cap, else the
+        histogram's order-independent approximation."""
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        if self.exact:
+            return SampleStats(self.reservoir.values()).percentile(q)
+        return self.histogram.quantile(q / 100.0)
+
+    def sample_stats(self) -> SampleStats:
+        """Exact samples (the whole population while :attr:`exact` holds)."""
+        return SampleStats(self.reservoir.values())
+
+    def merge(self, other: "ChannelStats") -> None:
+        self.stats.merge(other.stats)
+        self.histogram.merge(other.histogram)
+        self.reservoir.merge(other.reservoir)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"stats": self.stats.to_dict(),
+                "histogram": self.histogram.to_dict(),
+                "reservoir": self.reservoir.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object],
+                  seed: int = 0) -> "ChannelStats":
+        channel = cls(seed=seed)
+        channel.stats = OnlineStats.from_dict(
+            payload["stats"])  # type: ignore[arg-type]
+        channel.histogram = LogBucketHistogram.from_dict(
+            payload["histogram"])  # type: ignore[arg-type]
+        channel.reservoir = BoundedReservoir.from_dict(
+            payload["reservoir"], seed=seed)  # type: ignore[arg-type]
+        return channel
+
+
+def _channel_seed(base_seed: int, name: str) -> int:
+    """Deterministic per-channel reservoir seed (stable across processes)."""
+    return base_seed ^ zlib.crc32(name.encode())
+
+
+class StreamingResultSink:
+    """Online result accounting a platform or cluster run publishes into.
+
+    Experiments call :meth:`observe_invocation` on every completion and
+    drop the record; shards serialise with :meth:`to_dict`, ship the JSON
+    over a pipe, and the coordinator folds them with :meth:`merge` (any
+    order — see the module docstring for the exact-identity guarantees).
+    """
+
+    #: Channel names published by :meth:`observe_invocation`.
+    E2E = "e2e_ms"
+    RESPONSE = "response_ms"
+    SCHEDULING = "scheduling_ms"
+    COLD_START = "cold_start_ms"
+    QUEUING = "queuing_ms"
+    EXECUTION = "execution_ms"
+
+    def __init__(self, reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+                 seed: int = 0) -> None:
+        if reservoir_capacity < 1:
+            raise ValueError(
+                f"reservoir_capacity must be >= 1, got {reservoir_capacity}")
+        self.reservoir_capacity = reservoir_capacity
+        self.seed = seed
+        self.channels: Dict[str, ChannelStats] = {}
+        self.counters: Dict[str, int] = {}
+
+    # -- accumulation -----------------------------------------------------
+
+    def channel(self, name: str) -> ChannelStats:
+        channel = self.channels.get(name)
+        if channel is None:
+            channel = self.channels[name] = ChannelStats(
+                reservoir_capacity=self.reservoir_capacity,
+                seed=_channel_seed(self.seed, name))
+        return channel
+
+    def observe(self, name: str, value: float) -> None:
+        self.channel(name).observe(value)
+
+    def increment(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def observe_invocation(self, invocation) -> None:
+        """Publish one completed invocation's latency breakdown and drop it."""
+        failed = getattr(invocation, "error", None) is not None
+        if failed:
+            self.increment("failed")
+            return
+        self.increment("completed")
+        self.observe(self.E2E, invocation.end_to_end_ms)
+        self.observe(self.RESPONSE, invocation.response_latency_ms)
+        latency = invocation.latency
+        self.observe(self.SCHEDULING, latency.scheduling_ms)
+        self.observe(self.COLD_START, latency.cold_start_ms)
+        self.observe(self.QUEUING, latency.queuing_ms)
+        self.observe(self.EXECUTION, latency.execution_ms)
+
+    # -- merge / serialisation -------------------------------------------
+
+    def merge(self, other: "StreamingResultSink") -> None:
+        if other.reservoir_capacity != self.reservoir_capacity:
+            raise ValueError("cannot merge sinks with different reservoir "
+                             "capacities")
+        for name, channel in other.channels.items():
+            mine = self.channels.get(name)
+            if mine is None:
+                # Fresh channel adopting the other's state keeps merge
+                # commutative: seed only matters for future observations.
+                mine = self.channels[name] = ChannelStats(
+                    reservoir_capacity=self.reservoir_capacity,
+                    seed=_channel_seed(self.seed, name))
+            mine.merge(channel)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    @classmethod
+    def merged(cls, sinks: Iterable["StreamingResultSink"]
+               ) -> "StreamingResultSink":
+        result: Optional[StreamingResultSink] = None
+        for sink in sinks:
+            if result is None:
+                result = StreamingResultSink(
+                    reservoir_capacity=sink.reservoir_capacity,
+                    seed=sink.seed)
+            result.merge(sink)
+        if result is None:
+            raise ValueError("merged() needs at least one sink")
+        return result
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "reservoir_capacity": self.reservoir_capacity,
+            "seed": self.seed,
+            "counters": dict(sorted(self.counters.items())),
+            "channels": {name: channel.to_dict()
+                         for name, channel in sorted(self.channels.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StreamingResultSink":
+        sink = cls(reservoir_capacity=int(
+            payload["reservoir_capacity"]),  # type: ignore[arg-type]
+            seed=int(payload.get("seed", 0)))  # type: ignore[arg-type]
+        sink.counters = {str(k): int(v) for k, v
+                         in payload["counters"].items()}  # type: ignore[union-attr]
+        for name, channel in payload["channels"].items():  # type: ignore[union-attr]
+            sink.channels[str(name)] = ChannelStats.from_dict(
+                channel, seed=_channel_seed(sink.seed, str(name)))
+        return sink
+
+    # -- summary helpers --------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return self.counter("completed")
+
+    @property
+    def failed(self) -> int:
+        return self.counter("failed")
+
+    def latency_stats(self) -> SampleStats:
+        """End-to-end latency samples (the exact population below the cap)."""
+        return self.channel(self.E2E).sample_stats()
+
+    def latency_percentile(self, q: float) -> float:
+        return self.channel(self.E2E).percentile(q)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly digest of the end-to-end latency channel."""
+        channel = self.channel(self.E2E)
+        if channel.count == 0:
+            return {"count": 0}
+        return {
+            "count": channel.count,
+            "exact": channel.exact,
+            "mean": round(channel.stats.mean, 3),
+            "min": round(channel.stats.minimum, 3),
+            "max": round(channel.stats.maximum, 3),
+            "p50": round(channel.percentile(50.0), 3),
+            "p95": round(channel.percentile(95.0), 3),
+            "p98": round(channel.percentile(98.0), 3),
+            "p99": round(channel.percentile(99.0), 3),
+        }
+
+
+__all__ = [
+    "DEFAULT_RESERVOIR_CAPACITY",
+    "BoundedReservoir",
+    "ChannelStats",
+    "LogBucketHistogram",
+    "OnlineStats",
+    "StreamingResultSink",
+]

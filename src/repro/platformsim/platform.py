@@ -54,7 +54,8 @@ class ServerlessPlatform:
                  ids: Optional[IdFactory] = None,
                  event_log: Optional[EventLog] = None,
                  obs: Optional[Observability] = None,
-                 resilience: Optional[ResiliencePolicy] = None) -> None:
+                 resilience: Optional[ResiliencePolicy] = None,
+                 retain_completed: bool = True) -> None:
         self.env = env
         #: Structured decision log (disabled by default; ``.enable()`` it).
         self.event_log = event_log if event_log is not None else EventLog()
@@ -71,7 +72,19 @@ class ServerlessPlatform:
                                   metrics=self.obs.metrics)
         self.request_queue: Store[Invocation] = Store(env)
         self.functions: Dict[str, FunctionSpec] = {}
+        #: Retained Invocation records (only when ``retain_completed``;
+        #: million-invocation replays run with it off and publish into
+        #: ``result_sink`` instead, keeping completion accounting O(1)).
+        self.retain_completed = retain_completed
         self.completed: List[Invocation] = []
+        #: Final-outcome count — the source of truth for progress/all-done
+        #: accounting; equals ``len(completed)`` when retaining.
+        self.completed_count: int = 0
+        #: Optional online accounting sink (``StreamingResultSink``); when
+        #: set, every final outcome is published before being dropped or
+        #: retained.  Assigned by experiment runners, duck-typed so the
+        #: platform keeps zero dependency on the accounting layer.
+        self.result_sink = None
         self.expected_invocations: Optional[int] = None
         self._all_done: Event = env.event()
         #: Callbacks invoked on every completion (cluster coordination).
@@ -406,7 +419,11 @@ class ServerlessPlatform:
             # ``completed`` (and the all-done accounting below).
             self.resilience.schedule_retry(invocation)
             return
-        self.completed.append(invocation)
+        self.completed_count += 1
+        if self.result_sink is not None:
+            self.result_sink.observe_invocation(invocation)
+        if self.retain_completed:
+            self.completed.append(invocation)
         kind = (EventKind.INVOCATION_FAILED if failed
                 else EventKind.INVOCATION_COMPLETED)
         self.event_log.record(self.env.now, kind,
@@ -433,8 +450,8 @@ class ServerlessPlatform:
         for listener in self.completion_listeners:
             listener(invocation)
         if (self.expected_invocations is not None
-                and len(self.completed) == self.expected_invocations):
-            self._all_done.succeed(len(self.completed))
+                and self.completed_count == self.expected_invocations):
+            self._all_done.succeed(self.completed_count)
 
     # -- metrics helpers ----------------------------------------------------------------
 

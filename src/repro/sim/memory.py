@@ -18,7 +18,7 @@ from repro.common.errors import CapacityExceeded, SimulationError
 from repro.sim.kernel import Environment
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemorySample:
     """Memory usage (MB) observed at a simulated time (ms)."""
 
@@ -27,15 +27,22 @@ class MemorySample:
 
 
 class MemoryAccount:
-    """Tracks named memory allocations on one machine."""
+    """Tracks named memory allocations on one machine.
+
+    ``retain_series=False`` drops the per-change usage series (peak and
+    current usage stay exact) — the million-invocation regime, where one
+    sample per allocate/free would grow without bound
+    (~4 samples/invocation; see ``docs/scale.md``).
+    """
 
     def __init__(self, env: Environment, capacity_mb: float,
-                 strict: bool = True) -> None:
+                 strict: bool = True, retain_series: bool = True) -> None:
         if capacity_mb <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity_mb}")
         self.env = env
         self.capacity_mb = capacity_mb
         self.strict = strict
+        self.retain_series = retain_series
         self._allocations: Dict[str, float] = {}
         self._used = 0.0
         self._peak = 0.0
@@ -104,10 +111,14 @@ class MemoryAccount:
         return dict(self._allocations)
 
     def series(self) -> List[MemorySample]:
-        """The recorded usage series (one sample per change)."""
+        """The recorded usage series (one sample per change).
+
+        Only the initial sample when ``retain_series=False``.
+        """
         return list(self._series)
 
     def _record(self) -> None:
-        self._series.append(MemorySample(self.env.now, self._used))
+        if self.retain_series:
+            self._series.append(MemorySample(self.env.now, self._used))
         for hook in self._usage_hooks:
             hook(self._used)

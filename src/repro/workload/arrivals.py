@@ -9,28 +9,37 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterator, List, Sequence
 
 from repro.common.errors import WorkloadError
 
 
-def poisson_arrivals(rate_per_second: float, duration_ms: float,
-                     rng: random.Random, start_ms: float = 0.0) -> List[float]:
-    """Homogeneous Poisson arrivals over ``[start, start + duration)``."""
+def iter_poisson_arrivals(rate_per_second: float, duration_ms: float,
+                          rng: random.Random,
+                          start_ms: float = 0.0) -> Iterator[float]:
+    """Homogeneous Poisson arrivals over ``[start, start + duration)``,
+    yielded one at a time (O(1) memory, same RNG consumption order as the
+    materialized :func:`poisson_arrivals`)."""
     if rate_per_second < 0:
         raise WorkloadError(f"negative rate: {rate_per_second}")
     if duration_ms <= 0:
         raise WorkloadError(f"duration must be > 0, got {duration_ms}")
-    arrivals: List[float] = []
     if rate_per_second == 0:
-        return arrivals
+        return
     mean_gap_ms = 1000.0 / rate_per_second
     t = start_ms
     while True:
         t += rng.expovariate(1.0 / mean_gap_ms) * 1.0
         if t >= start_ms + duration_ms:
-            return arrivals
-        arrivals.append(t)
+            return
+        yield t
+
+
+def poisson_arrivals(rate_per_second: float, duration_ms: float,
+                     rng: random.Random, start_ms: float = 0.0) -> List[float]:
+    """Homogeneous Poisson arrivals over ``[start, start + duration)``."""
+    return list(iter_poisson_arrivals(rate_per_second, duration_ms, rng,
+                                      start_ms=start_ms))
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,23 @@ def bursty_arrivals(duration_ms: float,
         arrivals.append(start_ms + rng.random() * duration_ms)
     arrivals.sort()
     return arrivals
+
+
+def iter_bursty_arrivals(duration_ms: float,
+                         total: int,
+                         bursts: Sequence[Burst],
+                         rng: random.Random,
+                         start_ms: float = 0.0) -> Iterator[float]:
+    """Streaming view of :func:`bursty_arrivals`.
+
+    A bursty window must be globally sorted before it can be replayed, so
+    one window's arrivals are still realized internally — memory is
+    bounded by the *window* volume (hundreds to a few thousand points),
+    never by the number of windows a long replay tiles together.  Yields
+    exactly the sequence :func:`bursty_arrivals` returns for the same RNG.
+    """
+    yield from bursty_arrivals(duration_ms=duration_ms, total=total,
+                               bursts=bursts, rng=rng, start_ms=start_ms)
 
 
 def per_second_counts(arrivals_ms: Sequence[float],

@@ -19,7 +19,7 @@ arrival streams with the same published characteristics:
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Iterator, List, Tuple
 
 from repro.common.errors import WorkloadError
 from repro.common.units import MINUTE, SECOND
@@ -59,6 +59,66 @@ def replay_minute_arrivals(seed: int = 13,
         bursts.append(Burst(start_ms=start, width_ms=width, count=count))
     return bursty_arrivals(duration_ms=duration_ms, total=total,
                            bursts=bursts, rng=rng)
+
+
+def iter_replay_minute_arrivals(seed: int = 13,
+                                total: int = REPLAY_TOTAL_INVOCATIONS,
+                                duration_ms: float = REPLAY_DURATION_MS,
+                                ) -> Iterator[float]:
+    """Streaming view of :func:`replay_minute_arrivals`.
+
+    One minute's burst pattern needs a global sort, so memory stays
+    bounded by the minute volume; the yielded sequence is byte-identical
+    to the materialized list for the same seed.  NOTE the stateful-RNG
+    contract shared by every synthesiser here: a generator is single-use,
+    so rewindable consumers must call this factory again (fresh RNG)
+    rather than re-iterate an exhausted generator.
+    """
+    yield from replay_minute_arrivals(seed=seed, total=total,
+                                      duration_ms=duration_ms)
+
+
+def iter_tiled_replay_arrivals(total: int,
+                               tile_invocations: int,
+                               seed: int = 13,
+                               duration_ms: float = REPLAY_DURATION_MS,
+                               ) -> Iterator[Tuple[int, float]]:
+    """Tile bursty replay minutes end to end, streaming ``(index, arrival)``.
+
+    Tile *t* draws a fresh bursty minute of up to ``tile_invocations``
+    arrivals (seed ``seed + t``) offset by its minute boundary — exactly
+    the scenario construction the perf bench materialized before the
+    streaming refactor, now O(one tile) in memory.  ``index`` is the
+    global 0-based arrival rank, which synthesis layers use to assign
+    function ids without any look-back.  Tiles never overlap, so the
+    concatenation is globally time-ordered.
+    """
+    if total < 1:
+        raise WorkloadError(f"total must be >= 1, got {total}")
+    if tile_invocations < 1:
+        raise WorkloadError(
+            f"tile_invocations must be >= 1, got {tile_invocations}")
+    index = 0
+    tile = 0
+    remaining = total
+    while remaining > 0:
+        count = min(tile_invocations, remaining)
+        offset = tile * duration_ms
+        for arrival in replay_minute_arrivals(seed=seed + tile, total=count,
+                                              duration_ms=duration_ms):
+            yield index, offset + arrival
+            index += 1
+        remaining -= count
+        tile += 1
+
+
+def tiled_replay_tile_count(total: int, tile_invocations: int) -> int:
+    """Number of minute tiles :func:`iter_tiled_replay_arrivals` spans."""
+    if total < 1 or tile_invocations < 1:
+        raise WorkloadError(
+            f"need positive totals, got total={total} "
+            f"tile_invocations={tile_invocations}")
+    return -(-total // tile_invocations)
 
 
 class DailyPatternGenerator:

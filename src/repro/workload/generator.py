@@ -11,18 +11,21 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.model.function import FunctionKind, FunctionSpec
 from repro.model.workprofile import WorkProfile, cpu_profile, io_profile
 from repro.workload.azure import (
     IO_REPLAY_INVOCATIONS,
+    REPLAY_DURATION_MS,
     REPLAY_TOTAL_INVOCATIONS,
+    iter_tiled_replay_arrivals,
     replay_minute_arrivals,
+    tiled_replay_tile_count,
 )
 from repro.workload.durations import DurationSampler, fib_duration_ms
-from repro.workload.trace import Trace, TraceRecord
+from repro.workload.trace import Trace, TraceRecord, TraceStream
 
 #: Stable creation-argument hash: every I/O invocation passes the same
 #: (access key, secret, session token) tuple, like Listing 1.
@@ -105,6 +108,100 @@ def multi_function_trace(seed: int = 13,
                                    function_id=function_id,
                                    payload=sampler.sample_fib_n()))
     return Trace(records)
+
+
+# -- streaming synthesis -----------------------------------------------------
+#
+# Each stream builds its RNG-bearing state (arrival synthesiser, duration
+# sampler) *inside* the generator factory, so every iteration pass starts
+# from the seed and replays the byte-identical sequence — the
+# deterministic-rewind contract TraceStream enforces.  Equivalence to the
+# materialized constructors above is pinned by
+# ``tests/workload/test_streaming.py``.
+
+
+def cpu_workload_stream(seed: int = 13,
+                        total: int = REPLAY_TOTAL_INVOCATIONS
+                        ) -> TraceStream:
+    """Streaming equivalent of :func:`cpu_workload_trace`."""
+
+    def records() -> Iterator[TraceRecord]:
+        sampler = DurationSampler(seed=seed + 1)
+        for arrival in replay_minute_arrivals(seed=seed, total=total):
+            yield TraceRecord(arrival_ms=arrival,
+                              function_id=FIB_FUNCTION_ID,
+                              payload=sampler.sample_fib_n())
+
+    return TraceStream(records, count=total, end_ms=REPLAY_DURATION_MS)
+
+
+def io_workload_stream(seed: int = 13,
+                       total: int = IO_REPLAY_INVOCATIONS) -> TraceStream:
+    """Streaming equivalent of :func:`io_workload_trace`."""
+
+    def records() -> Iterator[TraceRecord]:
+        full = replay_minute_arrivals(seed=seed,
+                                      total=REPLAY_TOTAL_INVOCATIONS)
+        for index, arrival in enumerate(full[:total]):
+            yield TraceRecord(arrival_ms=arrival,
+                              function_id=IO_FUNCTION_ID,
+                              payload=index)
+
+    return TraceStream(records, count=total, end_ms=REPLAY_DURATION_MS)
+
+
+def multi_function_stream(seed: int = 13,
+                          total: int = REPLAY_TOTAL_INVOCATIONS,
+                          functions: int = 4) -> TraceStream:
+    """Streaming equivalent of :func:`multi_function_trace`."""
+    if functions < 1:
+        raise ValueError(f"functions must be >= 1, got {functions}")
+
+    def records() -> Iterator[TraceRecord]:
+        sampler = DurationSampler(seed=seed + 1)
+        for index, arrival in enumerate(
+                replay_minute_arrivals(seed=seed, total=total)):
+            yield TraceRecord(arrival_ms=arrival,
+                              function_id=f"{FIB_FUNCTION_ID}-"
+                                          f"{index % functions}",
+                              payload=sampler.sample_fib_n())
+
+    return TraceStream(records, count=total, end_ms=REPLAY_DURATION_MS)
+
+
+def tiled_fib_stream(invocations: int,
+                     functions: int,
+                     seed: int = 13,
+                     tile_invocations: int = 4000) -> TraceStream:
+    """The scale scenario: bursty replay minutes tiled to *invocations*.
+
+    Byte-identical to the perf bench's pre-streaming ``bench_trace``
+    construction (tile *t*: arrivals seeded ``seed + t``, payloads from a
+    fresh ``DurationSampler(seed + 7919 * (t + 1))``, function ids round-
+    robined by global arrival rank), but O(one tile) in memory — this is
+    what lets the 1.98 M-invocation Azure replay stream through a shard
+    without ever existing as a list.
+    """
+    if functions < 1:
+        raise ValueError(f"functions must be >= 1, got {functions}")
+
+    def records() -> Iterator[TraceRecord]:
+        sampler: Optional[DurationSampler] = None
+        for index, arrival in iter_tiled_replay_arrivals(
+                total=invocations, tile_invocations=tile_invocations,
+                seed=seed):
+            if index % tile_invocations == 0:
+                tile = index // tile_invocations
+                sampler = DurationSampler(seed=seed + 7919 * (tile + 1))
+            assert sampler is not None
+            yield TraceRecord(
+                arrival_ms=arrival,
+                function_id=f"{FIB_FUNCTION_ID}-{index % functions}",
+                payload=sampler.sample_fib_n())
+
+    tiles = tiled_replay_tile_count(invocations, tile_invocations)
+    return TraceStream(records, count=invocations,
+                       end_ms=tiles * REPLAY_DURATION_MS)
 
 
 def fib_family_specs(functions: int,

@@ -1,18 +1,31 @@
-"""Trace records and CSV persistence.
+"""Trace records, streaming traces and CSV persistence.
 
-A *trace* is the input to an experiment: a time-ordered list of invocation
-requests (arrival timestamp, function id, payload).  Traces are plain data;
-the generator builds them, the platform replays them, and the CSV round trip
-lets benchmark inputs be inspected and pinned as artefacts.
+A *trace* is the input to an experiment: a time-ordered sequence of
+invocation requests (arrival timestamp, function id, payload).  Two
+shapes exist:
+
+* :class:`Trace` — fully materialized, sortable, indexable; right for the
+  paper-scale workloads (hundreds to tens of thousands of records).
+* :class:`TraceStream` — a *generator factory* plus metadata.  Iterating
+  never materializes the records, so million-invocation replays run in
+  bounded memory; each ``iter()`` call invokes the factory again, which is
+  the deterministic-rewind contract (same factory ⇒ byte-identical record
+  sequence every pass).  Passing a raw generator instead of a factory is
+  rejected loudly — a generator silently yields nothing on its second
+  consumption, exactly the bug class the factory contract exists to kill.
+
+Experiment runners only need ``len(trace)``, ``trace.end_ms`` and
+iteration, which both shapes provide (:data:`TraceLike`).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.common.errors import WorkloadError
 
@@ -110,3 +123,102 @@ class Trace:
                     function_id=row[1],
                     payload=json.loads(row[2])))
         return cls(records)
+
+
+class TraceStream:
+    """A bounded-memory, deterministically re-iterable trace.
+
+    ``factory`` is a zero-argument callable returning a *fresh* iterator of
+    time-ordered :class:`TraceRecord`; ``count`` and ``end_ms`` are the
+    synthesis-known totals the experiment runners need without consuming
+    the stream.  Every ``iter()`` re-invokes the factory, so a stream can
+    be replayed any number of times and always yields the identical
+    sequence — and a factory that hands back the same exhausted iterator
+    twice (the classic generator-reuse bug) raises instead of silently
+    yielding nothing.
+    """
+
+    def __init__(self, factory: Callable[[], Iterator[TraceRecord]],
+                 count: int, end_ms: float, start_ms: float = 0.0) -> None:
+        if not callable(factory):
+            raise WorkloadError(
+                "TraceStream needs a generator *factory* (a callable "
+                "returning a fresh iterator), not an iterator — a bare "
+                "generator would silently yield nothing when consumed "
+                "twice")
+        if count < 1:
+            raise WorkloadError(f"a trace needs at least one record, "
+                                f"got count={count}")
+        if end_ms < start_ms:
+            raise WorkloadError(
+                f"end_ms {end_ms} precedes start_ms {start_ms}")
+        self._factory = factory
+        self._count = count
+        self._start_ms = start_ms
+        self._end_ms = end_ms
+        self._last_iterator: Optional[weakref.ref] = None
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        iterator = self._factory()
+        if iterator is None or not hasattr(iterator, "__next__"):
+            raise WorkloadError(
+                "TraceStream factory must return an iterator")
+        # A weakref (not id()) so a *collected* previous iterator whose id
+        # got recycled is not mistaken for reuse.
+        if self._last_iterator is not None and self._last_iterator() is iterator:
+            raise WorkloadError(
+                "TraceStream factory returned the same iterator object "
+                "twice; it would be exhausted — return a fresh generator "
+                "per call")
+        try:
+            self._last_iterator = weakref.ref(iterator)
+        except TypeError:  # non-weakrefable iterators skip the guard
+            self._last_iterator = None
+        return self._checked(iterator)
+
+    def _checked(self, iterator: Iterator[TraceRecord]
+                 ) -> Iterator[TraceRecord]:
+        """Validate ordering/count while streaming (O(1) state)."""
+        yielded = 0
+        previous = float("-inf")
+        for record in iterator:
+            if record.arrival_ms < previous:
+                raise WorkloadError(
+                    f"stream out of order: {record.arrival_ms} after "
+                    f"{previous}")
+            previous = record.arrival_ms
+            yielded += 1
+            if yielded > self._count:
+                raise WorkloadError(
+                    f"stream yielded more than its declared {self._count} "
+                    "records")
+            yield record
+        if yielded != self._count:
+            raise WorkloadError(
+                f"stream yielded {yielded} records, declared {self._count}")
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def start_ms(self) -> float:
+        """Synthesis-declared start bound (replay begins here)."""
+        return self._start_ms
+
+    @property
+    def end_ms(self) -> float:
+        """Upper bound on the last arrival (drain timeouts key off this)."""
+        return self._end_ms
+
+    @property
+    def duration_ms(self) -> float:
+        return self._end_ms - self._start_ms
+
+    def materialize(self) -> Trace:
+        """Realize the whole stream as a :class:`Trace` (small inputs only)."""
+        return Trace(self)
+
+
+#: What experiment runners actually require of a trace: ``len()``,
+#: ``end_ms`` and iteration over time-ordered records.
+TraceLike = Union[Trace, TraceStream]

@@ -7,13 +7,18 @@ import pytest
 from repro.baselines import VanillaScheduler
 from repro.cluster import (
     FunctionAffinityBalancer,
+    HashPartitionBalancer,
     LeastLoadedBalancer,
+    NullAutoscaler,
     RoundRobinBalancer,
+    ThresholdAutoscaler,
+    WorkerSize,
     compare_balancers,
     make_balancer,
     run_cluster_experiment,
     stable_hash,
 )
+from repro.cluster.experiment import ClusterResult
 from repro.common.errors import ConfigurationError
 from repro.core import FaaSBatchScheduler
 from repro.model.calibration import DEFAULT_CALIBRATION
@@ -83,6 +88,140 @@ class TestBalancers:
         with pytest.raises(ConfigurationError):
             FunctionAffinityBalancer(make_workers(env, 1),
                                      spill_threshold=0)
+
+    def test_least_loaded_ties_resolve_to_lowest_index(self, env):
+        """Regression: ties once keyed on ``id(worker) % 97`` — memory
+        addresses — which reshuffled routing between identically-seeded
+        runs.  Equal load must always resolve to the lowest index."""
+        workers = make_workers(env, 4)
+        balancer = LeastLoadedBalancer(workers)
+        assert balancer.pick("f") is workers[0]
+        workers[0].ids.next("inv")
+        assert balancer.pick("f") is workers[1]
+        workers[1].ids.next("inv")
+        # workers 2 and 3 now tie at zero load: lowest index wins.
+        assert all(balancer.pick("f") is workers[2] for _ in range(5))
+
+    def test_affinity_spill_uses_lowest_index_tie_break(self, env):
+        workers = make_workers(env, 4)
+        balancer = FunctionAffinityBalancer(workers, spill_threshold=1)
+        home = balancer.home_of("hot")
+        home.ids.next("inv")
+        expected = next(w for w in workers if w is not home)
+        assert all(balancer.pick("hot") is expected for _ in range(5))
+
+    def test_hash_partition_is_load_blind(self, env):
+        workers = make_workers(env, 4)
+        balancer = HashPartitionBalancer(workers)
+        before = [balancer.pick(f"fn-{i}") for i in range(12)]
+        for worker in workers:  # pile arbitrary load everywhere
+            worker.ids.next("inv")
+        after = [balancer.pick(f"fn-{i}") for i in range(12)]
+        assert before == after
+        for i in range(12):
+            assert before[i] is workers[stable_hash(f"fn-{i}") % 4]
+
+    def test_add_worker_extends_routing(self, env):
+        workers = make_workers(env, 2)
+        balancer = RoundRobinBalancer(workers)
+        extra = make_workers(env, 1)[0]
+        balancer.add_worker(extra)
+        picks = [balancer.pick("f") for _ in range(3)]
+        assert extra in picks
+        with pytest.raises(ConfigurationError):
+            balancer.add_worker(extra)
+
+
+class TestAutoscaler:
+    def test_threshold_requests_one_worker_under_pressure(self):
+        scaler = ThresholdAutoscaler(max_workers=4, load_threshold=2.0)
+        assert scaler.workers_to_add([1, 1], [0, 0]) == 0
+        assert scaler.workers_to_add([3, 3], [2, 0]) == 1
+
+    def test_threshold_respects_max_workers(self):
+        scaler = ThresholdAutoscaler(max_workers=2, load_threshold=1.0)
+        assert scaler.workers_to_add([50, 50], [10, 10]) == 0
+
+    def test_threshold_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdAutoscaler(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ThresholdAutoscaler(max_workers=2, load_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdAutoscaler(max_workers=2, check_interval_ms=0.0)
+
+    def test_experiment_grows_cluster_under_load(self):
+        trace = multi_function_trace(total=150, functions=4)
+        scaler = ThresholdAutoscaler(max_workers=4, load_threshold=0.5,
+                                     check_interval_ms=50.0)
+        result = run_cluster_experiment(
+            FaaSBatchScheduler, trace, fib_family_specs(4), workers=1,
+            balancer="round-robin", autoscaler=scaler)
+        assert result.workers > 1
+        assert result.scale_events
+        times = [t for t, _count in result.scale_events]
+        counts = [count for _t, count in result.scale_events]
+        assert times == sorted(times)
+        assert counts == sorted(counts)
+        assert sum(result.per_worker_invocations) == 150
+
+    def test_null_autoscaler_holds_steady(self):
+        trace = cpu_workload_trace(total=40)
+        result = run_cluster_experiment(
+            VanillaScheduler, trace, [fib_function_spec()], workers=2,
+            autoscaler=NullAutoscaler())
+        assert result.workers == 2
+        assert result.scale_events == []
+
+
+class TestScaleFeatures:
+    def test_load_imbalance_zero_when_all_idle(self):
+        """Regression: an all-idle cluster used to divide by zero."""
+        result = ClusterResult(
+            balancer_name="round-robin", workers=2, invocations=[],
+            per_worker_invocations=[0, 0], per_worker_containers=[0, 0],
+            per_worker_memory_mb=[0.0, 0.0], completion_ms=0.0)
+        assert result.load_imbalance() == 0.0
+        empty = ClusterResult(
+            balancer_name="round-robin", workers=0, invocations=[],
+            per_worker_invocations=[], per_worker_containers=[],
+            per_worker_memory_mb=[], completion_ms=0.0)
+        assert empty.load_imbalance() == 0.0
+
+    def test_retain_invocations_false_routes_through_sink(self):
+        trace = multi_function_trace(total=80, functions=2)
+        result = run_cluster_experiment(
+            FaaSBatchScheduler, trace, fib_family_specs(2), workers=2,
+            retain_invocations=False)
+        assert result.invocations == []
+        assert result.sink is not None
+        assert result.sink.completed == 80
+        assert sum(result.per_worker_invocations) == 80
+        assert result.latency_stats().count == 80
+
+    def test_sink_matches_materialized_latency(self):
+        trace = multi_function_trace(total=60, functions=2)
+        result = run_cluster_experiment(
+            FaaSBatchScheduler, trace, fib_family_specs(2), workers=2)
+        materialized = sorted(i.end_to_end_ms for i in result.invocations)
+        assert result.sink is not None
+        assert result.sink.channel(result.sink.E2E).reservoir.values() \
+            == materialized
+
+    def test_heterogeneous_machine_sizes_cycle(self):
+        trace = multi_function_trace(total=60, functions=3)
+        sizes = [WorkerSize(cores=2, memory_gb=4.0),
+                 WorkerSize(cores=8, memory_gb=16.0)]
+        result = run_cluster_experiment(
+            FaaSBatchScheduler, trace, fib_family_specs(3), workers=3,
+            machine_sizes=sizes)
+        assert sum(result.per_worker_invocations) == 60
+
+    def test_worker_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerSize(cores=0, memory_gb=4.0)
+        with pytest.raises(ConfigurationError):
+            WorkerSize(cores=2, memory_gb=0.0)
 
 
 class TestClusterExperiment:

@@ -87,3 +87,18 @@ class TestSeries:
     def test_invalid_capacity_rejected(self, env):
         with pytest.raises(ValueError):
             MemoryAccount(env, capacity_mb=0.0)
+
+    def test_retain_series_false_keeps_peak_exact(self, env):
+        """The million-invocation regime: no per-change sample retention,
+        but usage, peak and hooks stay exact."""
+        memory = MemoryAccount(env, capacity_mb=100.0, retain_series=False)
+        seen = []
+        memory.add_usage_hook(seen.append)
+        memory.allocate("a", 60.0)
+        memory.free("a")
+        memory.allocate("b", 10.0)
+        assert memory.used_mb == 10.0
+        assert memory.peak_mb == 60.0
+        assert seen == [60.0, 0.0, 10.0]
+        assert [(s.time_ms, s.used_mb) for s in memory.series()] \
+            == [(0.0, 0.0)]

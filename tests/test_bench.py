@@ -14,7 +14,11 @@ from repro.bench import (
     TILE_INVOCATIONS,
     _baseline_table,
     bench_trace,
+    cluster_cell_configs,
+    cluster_report,
+    load_report,
     run_bench,
+    run_cluster_cell,
     validate_report,
     write_report,
 )
@@ -241,3 +245,100 @@ class TestValidateReport:
         del report["baseline"]
         with pytest.raises(ValueError):
             validate_report(report)
+
+
+class TestAtomicWrites:
+    def _report(self):
+        return run_bench(BenchConfig(invocations=40, functions=2),
+                         skip_legacy=True, isolate=False)
+
+    def test_failed_write_preserves_previous_artifact(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        report = self._report()
+        write_report(report, str(path))
+        # An invalid report must neither replace the published artifact
+        # nor leave a temp file behind.
+        broken = dict(report, schema="bogus")
+        with pytest.raises(ValueError):
+            write_report(broken, str(path))
+        assert load_report(str(path)) == report
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_load_report_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        report = self._report()
+        write_report(report, str(path))
+        assert load_report(str(path)) == report
+
+    def test_load_report_rejects_truncated_artifact(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        report = self._report()
+        write_report(report, str(path))
+        content = path.read_text()
+        path.write_text(content[:len(content) // 2])  # simulate dead writer
+        with pytest.raises(ValueError, match="partial or corrupt"):
+            load_report(str(path))
+
+    def test_load_report_rejects_invalid_report(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ValueError, match=str(path)):
+            load_report(str(path))
+
+    def test_load_report_rejects_non_object(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="report object"):
+            load_report(str(path))
+
+
+class TestClusterCells:
+    @pytest.fixture(scope="class")
+    def row(self):
+        # The smoke topology at 1/10 volume; inline keeps the suite fast.
+        return run_cluster_cell("azure-smoke", isolate=False, shards=2,
+                                workers=4)
+
+    def test_named_cells_exist(self):
+        cells = cluster_cell_configs()
+        assert set(cells) == {"azure-smoke", "azure-full"}
+        assert cells["azure-full"].invocations == 1_980_000
+        with pytest.raises(ValueError, match="unknown cluster cell"):
+            run_cluster_cell("azure-mystery")
+
+    def test_row_shape(self, row):
+        assert row["cell"] == "azure-smoke"
+        assert row["completed"] == 20_000
+        assert row["failed"] == 0
+        assert row["isolation"] == "inline"
+        assert len(row["per_shard"]) == 2
+        assert row["latency_ms"]["count"] == 20_000
+        assert row["invocations_per_sec"] > 0
+
+    def test_cluster_report_validates(self, row):
+        report = cluster_report([row])
+        validate_report(report)
+        assert report["schema"] == BENCH_SCHEMA
+        assert "runs" not in report
+
+    def test_cluster_report_write_and_load(self, row, tmp_path):
+        path = tmp_path / "BENCH_cluster.json"
+        report = cluster_report([row])
+        write_report(report, str(path))
+        assert load_report(str(path)) == report
+
+    def test_validator_rejects_malformed_cells(self, row):
+        report = cluster_report([dict(row, max_shard_rss_mb=-1.0)])
+        with pytest.raises(ValueError, match="max_shard_rss_mb"):
+            validate_report(report)
+        report = cluster_report([dict(row, per_shard=[])])
+        with pytest.raises(ValueError, match="per_shard"):
+            validate_report(report)
+        with pytest.raises(ValueError, match="at least one"):
+            cluster_report([])
+
+    def test_empty_sections_rejected(self):
+        with pytest.raises(ValueError, match="runs.*cluster_cells"):
+            validate_report({"schema": BENCH_SCHEMA,
+                             "config": {"invocations": 1, "functions": 1,
+                                        "seed": 13}})
