@@ -80,7 +80,10 @@ from repro.workload.trace import Trace, TraceRecord
 #: v3.1 added the sharded-cluster ``cluster_cells`` section (a report may
 #: carry ``runs``, ``cluster_cells`` or both), atomic report writes and a
 #: loader that rejects partial artifacts.
-BENCH_SCHEMA = "faasbatch-bench/v3.1"
+#: v4 added the live-serving ``gateway_cells`` section (seeded open-loop
+#: load cells against the asyncio gateway); a report now carries any
+#: non-empty combination of ``runs``, ``cluster_cells``, ``gateway_cells``.
+BENCH_SCHEMA = "faasbatch-bench/v4"
 
 #: Scheduler label of the observability-overhead run (tracing + sampling
 #: on).  Distinct from "FaaSBatch" so the (scheduler, engine) cells stay
@@ -611,13 +614,41 @@ def run_cluster_cell(cell: str,
 
 
 def cluster_report(cell_rows: List[Dict[str, object]]) -> Dict[str, object]:
-    """Wrap cluster-cell rows as a standalone v3.1 report."""
+    """Wrap cluster-cell rows as a standalone report."""
     if not cell_rows:
         raise ValueError("need at least one cluster cell row")
     return {
         "schema": BENCH_SCHEMA,
         "config": dict(cell_rows[0]["config"]),  # type: ignore[arg-type]
         "cluster_cells": cell_rows,
+    }
+
+
+def gateway_report(cell_rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap live-gateway load cells as a standalone v4 report.
+
+    Each row comes from :meth:`repro.gateway.LoadResult.cell`.  The
+    top-level ``config`` block is synthesised from the first cell's load
+    config so the shared ``validate_report`` config contract
+    (invocations / functions / seed) holds for gateway-only artifacts:
+    ``invocations`` is the total requests across cells and ``functions``
+    the size of the traffic mix.
+    """
+    if not cell_rows:
+        raise ValueError("need at least one gateway cell row")
+    first = cell_rows[0]["config"]  # type: ignore[index]
+    if not isinstance(first, dict):
+        raise ValueError("gateway cell needs a config object")
+    total = sum(int(row.get("requests", 0))  # type: ignore[arg-type]
+                for row in cell_rows)
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "invocations": total,
+            "functions": len(first.get("mix", {})),
+            "seed": first.get("seed"),
+        },
+        "gateway_cells": cell_rows,
     }
 
 
@@ -663,13 +694,61 @@ def _validate_cluster_cells(cells: object) -> None:
                 raise ValueError(f"latency_ms.{key} must be a number")
 
 
+def _validate_gateway_cells(cells: object) -> None:
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("gateway_cells must be a non-empty list when "
+                         "present")
+    numeric = ("offered_rps", "requests", "completed", "shed", "timeouts",
+               "errors", "achieved_rps", "goodput_rps")
+    for row in cells:
+        if not isinstance(row, dict):
+            raise ValueError("each gateway cell must be an object")
+        if not isinstance(row.get("cell"), str):
+            raise ValueError("gateway cell needs a string 'cell' name")
+        if row.get("policy") not in ("faasbatch", "vanilla", "adaptive"):
+            raise ValueError("gateway cell policy must be 'faasbatch', "
+                             "'vanilla' or 'adaptive'")
+        if row.get("transport") not in ("inproc", "http"):
+            raise ValueError("gateway cell transport must be 'inproc' or "
+                             "'http'")
+        config = row.get("config")
+        if not isinstance(config, dict):
+            raise ValueError("gateway cell needs a config object")
+        for key in ("rps", "duration_s", "seed"):
+            if not isinstance(config.get(key), (int, float)):
+                raise ValueError(f"gateway cell config.{key} must be a "
+                                 "number")
+        if not isinstance(config.get("mix"), dict) or not config["mix"]:
+            raise ValueError("gateway cell config.mix must be a non-empty "
+                             "object")
+        for key in numeric:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"gateway cell {row.get('cell')!r}: {key} must be a "
+                    "non-negative number")
+        ratio = row.get("goodput_ratio")
+        if not isinstance(ratio, (int, float)) or not 0 <= ratio <= 1:
+            raise ValueError("gateway cell goodput_ratio must be in "
+                             "[0, 1]")
+        if not isinstance(row.get("mode_flips"), list):
+            raise ValueError("gateway cell mode_flips must be a list")
+        latency = row.get("latency_ms")
+        if not isinstance(latency, dict):
+            raise ValueError("gateway cell needs a latency_ms summary")
+        for key in ("p50", "p95", "p99", "mean"):
+            if not isinstance(latency.get(key), (int, float)):
+                raise ValueError(f"latency_ms.{key} must be a number")
+
+
 def validate_report(report: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless *report* is a well-formed bench report.
 
     Used by the CI smoke job (and the unit tests) to guard the format that
-    downstream BENCH tooling will parse.  A v3.1 report carries a ``runs``
+    downstream BENCH tooling will parse.  A v4 report carries a ``runs``
     section (the scheduler × engine grid), a ``cluster_cells`` section
-    (sharded cluster replays), or both.
+    (sharded cluster replays), a ``gateway_cells`` section (live-serving
+    load cells), or any combination.
     """
     if report.get("schema") != BENCH_SCHEMA:
         raise ValueError(f"schema must be {BENCH_SCHEMA!r}, "
@@ -682,12 +761,16 @@ def validate_report(report: Dict[str, object]) -> None:
             raise ValueError(f"config.{key} must be a number")
     runs = report.get("runs")
     cluster_cells = report.get("cluster_cells")
+    gateway_cells = report.get("gateway_cells")
     if not (isinstance(runs, list) and runs) \
-            and not (isinstance(cluster_cells, list) and cluster_cells):
-        raise ValueError("report needs a non-empty 'runs' or "
-                         "'cluster_cells' section")
+            and not (isinstance(cluster_cells, list) and cluster_cells) \
+            and not (isinstance(gateway_cells, list) and gateway_cells):
+        raise ValueError("report needs a non-empty 'runs', "
+                         "'cluster_cells' or 'gateway_cells' section")
     if cluster_cells is not None:
         _validate_cluster_cells(cluster_cells)
+    if gateway_cells is not None:
+        _validate_gateway_cells(gateway_cells)
     if runs is None:
         return
     if not isinstance(config.get("window_ms"), (int, float)):
@@ -824,6 +907,7 @@ __all__ = [
     "bench_trace",
     "cluster_cell_configs",
     "cluster_report",
+    "gateway_report",
     "load_report",
     "run_bench",
     "run_cluster_cell",

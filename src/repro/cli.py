@@ -23,6 +23,12 @@ Subcommands
 ``bench``         measure simulator performance (incremental vs legacy
                   CPU engine) on a large tiled scenario; write
                   BENCH_sim.json.
+``serve``         run the live asyncio HTTP gateway (real FaaSBatch
+                  dispatch windows, admission control, degradation
+                  monitor) over the demo function set.
+``loadgen``       drive seeded open-loop load cells at a fresh gateway
+                  stack per policy; write the ``gateway_cells`` bench
+                  artifact, the record stream, and the HTML report.
 
 Experiment commands accept ``--trace PATH`` to record every invocation's
 span timeline (queued / cold-start / dispatched / executing / responding)
@@ -43,6 +49,8 @@ Examples::
     python -m repro sample-azure --dir ./azure-sample
     python -m repro replay-azure --dir ./azure-sample --top 3
     python -m repro bench --invocations 50000 --out BENCH_sim.json
+    python -m repro serve --policy faasbatch --port 8080
+    python -m repro loadgen --rps 2000 --duration 5 --out BENCH_gateway.json
 """
 
 from __future__ import annotations
@@ -464,6 +472,169 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix(text: str) -> Dict[str, float]:
+    """``"io=0.6,echo=0.4"`` -> ``{"io": 0.6, "echo": 0.4}``."""
+    mix: Dict[str, float] = {}
+    for part in text.split(","):
+        name, _, weight = part.partition("=")
+        if not name.strip() or not weight.strip():
+            raise ValueError(f"bad mix entry {part!r} (want name=weight)")
+        mix[name.strip()] = float(weight)
+    return mix
+
+
+def _gateway_cell_specs(args: argparse.Namespace) -> list:
+    """Translate loadgen CLI flags to one CellSpec per requested policy."""
+    from repro.gateway import AdmissionConfig, CellSpec, LoadgenConfig
+
+    mix = _parse_mix(args.mix)
+    admission = AdmissionConfig(max_queue_depth=args.max_queue_depth,
+                                max_inflight=args.max_inflight,
+                                shed_policy=args.shed_policy)
+    timeout = args.request_timeout if args.request_timeout > 0 else None
+    load = LoadgenConfig(rps=args.rps, duration_seconds=args.duration,
+                         seed=args.seed, mix=mix,
+                         max_connections=args.connections)
+    specs = []
+    for policy in args.policies.split(","):
+        policy = policy.strip()
+        phases = ()
+        if policy == "adaptive":
+            # Shape-shifting traffic so the degradation monitor has
+            # something to react to: io-heavy (batching wins), echo-only
+            # (the window is pure tax), io-heavy again (recovery).
+            third = args.duration / 3.0
+            phases = tuple(
+                LoadgenConfig(rps=args.rps, duration_seconds=third,
+                              seed=args.seed + index, mix=phase_mix,
+                              max_connections=args.connections)
+                for index, phase_mix in enumerate(
+                    ({"io": 0.7, "echo": 0.3}, {"echo": 1.0},
+                     {"io": 0.7, "echo": 0.3})))
+        specs.append(CellSpec(
+            label=policy, policy=policy, load=load, phases=phases,
+            transport=args.transport,
+            window_seconds=args.window_ms / 1000.0,
+            deadline_seconds=args.deadline,
+            admission=admission,
+            request_timeout_seconds=timeout))
+    return specs
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the live gateway until interrupted."""
+    import asyncio
+
+    from repro.gateway import (
+        AdmissionConfig,
+        DegradationConfig,
+        DEMO_FUNCTIONS,
+        Gateway,
+        GatewayConfig,
+        GatewayServer,
+        demo_platform,
+    )
+    from repro.local import LocalPlatformConfig
+    from repro.obs import Observability
+
+    async def serve() -> int:
+        platform = demo_platform(LocalPlatformConfig(
+            policy="faasbatch" if args.policy != "vanilla" else "vanilla",
+            window_seconds=(0.0 if args.policy == "vanilla"
+                            else args.window_ms / 1000.0),
+            use_multiplexer=args.policy != "vanilla",
+            container_concurrency=(1 if args.policy == "vanilla" else None),
+            request_timeout_seconds=None),
+            obs=Observability())
+        gateway = Gateway(platform, GatewayConfig(
+            policy="vanilla" if args.policy == "vanilla" else "faasbatch",
+            window_seconds=(0.0 if args.policy == "vanilla"
+                            else args.window_ms / 1000.0),
+            admission=AdmissionConfig(max_queue_depth=args.max_queue_depth,
+                                      max_inflight=args.max_inflight,
+                                      shed_policy=args.shed_policy),
+            degradation=DegradationConfig(
+                enabled=args.policy == "adaptive")))
+        server = GatewayServer(gateway, host=args.host, port=args.port)
+        await server.start()
+        print(f"Serving {args.policy} gateway on "
+              f"http://{server.host}:{server.port}")
+        print(f"Functions: {', '.join(DEMO_FUNCTIONS)} "
+              f"(POST /invoke/<name>; GET /healthz /stats /metrics)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            await asyncio.get_event_loop().run_in_executor(
+                None, platform.shutdown)
+        return 0
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nInterrupted; gateway stopped.")
+        return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: drive seeded open-loop load cells, write artifacts."""
+    import asyncio
+
+    from repro.gateway import run_cell
+
+    try:
+        specs = _gateway_cell_specs(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    async def drive() -> list:
+        results = []
+        for spec in specs:
+            total = (sum(p.duration_seconds for p in spec.phases)
+                     or spec.load.duration_seconds)
+            print(f"Cell {spec.label}: {spec.load.rps:g} rps for "
+                  f"{total:g}s over {spec.transport} "
+                  f"(seed {spec.load.seed})...")
+            results.append(await run_cell(spec))
+        return results
+
+    results = asyncio.run(drive())
+    headers = ["cell", "requests", "goodput_rps", "goodput", "p50_ms",
+               "p99_ms", "shed", "flips", "final_mode"]
+    rows = []
+    for result in results:
+        cell = result.cell()
+        latency = cell["latency_ms"]
+        rows.append([cell["cell"], cell["requests"], cell["goodput_rps"],
+                     f"{cell['goodput_ratio']:.1%}",
+                     latency.get("p50", "-"), latency.get("p99", "-"),
+                     cell["shed"], len(cell["mode_flips"]),
+                     cell["final_mode"] or "-"])
+    print(render_table(headers, rows, title="Gateway load cells"))
+    if args.out is not None:
+        from repro.bench import gateway_report, write_report
+        write_report(gateway_report([r.cell() for r in results]), args.out)
+        print(f"Wrote {args.out}")
+    records = [record for result in results
+               for record in result.report_records()]
+    if args.records is not None:
+        import json
+        with open(args.records, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"Wrote {len(records)} gateway records to {args.records}")
+    if args.report is not None:
+        byte_count = write_html_report(
+            args.report, records,
+            title=(f"FaaSBatch live gateway — {args.rps:g} rps x "
+                   f"{args.duration:g}s, seed {args.seed}"))
+        print(f"Wrote {byte_count} bytes to {args.report}")
+    return 0
+
+
 def cmd_sample_azure(args: argparse.Namespace) -> int:
     invocations_path, durations_path = write_sample_files(
         args.dir, functions=args.functions, seed=args.seed)
@@ -640,6 +811,62 @@ def build_parser() -> argparse.ArgumentParser:
                                          "--profile (default: 15)")
     add_common(bench)
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live HTTP gateway over the demo functions")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--policy",
+                       choices=("faasbatch", "vanilla", "adaptive"),
+                       default="faasbatch")
+    serve.add_argument("--window-ms", type=float, default=10.0,
+                       help="dispatch window in wall-clock ms")
+    serve.add_argument("--max-queue-depth", type=int, default=2048,
+                       help="per-function pending cap before shedding")
+    serve.add_argument("--max-inflight", type=int, default=8192,
+                       help="global in-flight request cap")
+    serve.add_argument("--shed-policy", choices=("newest", "oldest"),
+                       default="newest")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive seeded open-loop load at a fresh gateway stack")
+    loadgen.add_argument("--rps", type=float, default=1000.0,
+                         help="offered arrival rate per cell")
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="seconds of offered load per cell")
+    loadgen.add_argument("--policies", default="faasbatch,vanilla",
+                         help="comma-separated cells to run "
+                              "(faasbatch, vanilla, adaptive)")
+    loadgen.add_argument("--transport", choices=("inproc", "http"),
+                         default="inproc")
+    loadgen.add_argument("--mix", default="io=0.1,echo=0.9",
+                         help="traffic mix as name=weight pairs")
+    loadgen.add_argument("--window-ms", type=float, default=10.0,
+                         help="dispatch window in wall-clock ms")
+    loadgen.add_argument("--deadline", type=float, default=10.0,
+                         help="per-request gateway deadline in seconds")
+    loadgen.add_argument("--request-timeout", type=float, default=0.0,
+                         help="platform handler timeout in seconds "
+                              "(0 = off)")
+    loadgen.add_argument("--max-queue-depth", type=int, default=2048)
+    loadgen.add_argument("--max-inflight", type=int, default=8192)
+    loadgen.add_argument("--shed-policy", choices=("newest", "oldest"),
+                         default="newest")
+    loadgen.add_argument("--connections", type=int, default=32,
+                         help="http transport: keep-alive pool size")
+    loadgen.add_argument("--out", default=None, metavar="PATH",
+                         help="write a gateway_cells bench artifact "
+                              "(schema v4 JSON)")
+    loadgen.add_argument("--records", default=None, metavar="PATH",
+                         help="write the gateway record stream as JSONL")
+    loadgen.add_argument("--report", default=None, metavar="PATH",
+                         help="write the HTML report with gateway panels")
+    add_common(loadgen)
+    loadgen.set_defaults(func=cmd_loadgen)
 
     sample = sub.add_parser("sample-azure",
                             help="write sample Azure-format trace files")

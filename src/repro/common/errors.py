@@ -121,3 +121,28 @@ class HedgeSuperseded(ReproError):
 
 class HedgeCancelled(ReproError):
     """The primary finished first; the hedged shadow is cancelled."""
+
+
+class PlatformStateError(ReproError):
+    """An operation hit a platform in an incompatible lifecycle state."""
+
+
+class PlatformDraining(PlatformStateError):
+    """Work was submitted while the platform drains toward shutdown."""
+
+
+class PlatformStopped(PlatformStateError):
+    """Work was submitted after the platform fully stopped."""
+
+
+class GatewayOverloaded(ReproError):
+    """The gateway shed this request under admission control (HTTP 429).
+
+    ``retry_after_seconds`` is the backoff hint the HTTP layer surfaces
+    as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str,
+                 retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds

@@ -1,0 +1,93 @@
+"""Live serving tier: asyncio HTTP gateway over the local runtime.
+
+The simulator (:mod:`repro.platformsim`) validates the FaaSBatch policy;
+this package proves it *serves*: real dispatch windows on live requests,
+admission control and load shedding under overload, wall-clock retries
+and timeouts via the platform's resilience knobs, and graceful
+degradation to vanilla dispatch when batching stops winning.  A seeded
+open-loop load generator (``repro loadgen``) publishes results into the
+bench artifact (``gateway_cells``, schema v4) and the HTML report.
+"""
+
+from repro.gateway.admission import (
+    SHED_INFLIGHT,
+    SHED_QUEUE_DEPTH,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.gateway.batching import FunctionBatcher, PendingRequest
+from repro.gateway.degradation import (
+    MODE_BATCH,
+    MODE_VANILLA,
+    DegradationConfig,
+    DegradationMonitor,
+    percentile,
+)
+from repro.gateway.functions import (
+    DEFAULT_CLIENT_COST_SECONDS,
+    DEMO_FUNCTIONS,
+    demo_platform,
+    make_handlers,
+)
+from repro.gateway.harness import (
+    POLICY_CELLS,
+    CellSpec,
+    build_stack,
+    default_cells,
+    platform_config_for,
+    run_cell,
+)
+from repro.gateway.loadgen import (
+    Arrival,
+    HttpPool,
+    LoadgenConfig,
+    LoadResult,
+    RequestSample,
+    build_phased_schedule,
+    build_schedule,
+    run_http,
+    run_inproc,
+)
+from repro.gateway.server import (
+    Gateway,
+    GatewayConfig,
+    GatewayResponse,
+    GatewayServer,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "Arrival",
+    "CellSpec",
+    "DEFAULT_CLIENT_COST_SECONDS",
+    "DEMO_FUNCTIONS",
+    "DegradationConfig",
+    "DegradationMonitor",
+    "FunctionBatcher",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayResponse",
+    "GatewayServer",
+    "HttpPool",
+    "LoadResult",
+    "LoadgenConfig",
+    "MODE_BATCH",
+    "MODE_VANILLA",
+    "PendingRequest",
+    "POLICY_CELLS",
+    "RequestSample",
+    "SHED_INFLIGHT",
+    "SHED_QUEUE_DEPTH",
+    "build_phased_schedule",
+    "build_schedule",
+    "build_stack",
+    "default_cells",
+    "demo_platform",
+    "make_handlers",
+    "percentile",
+    "platform_config_for",
+    "run_cell",
+    "run_http",
+    "run_inproc",
+]

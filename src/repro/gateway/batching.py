@@ -1,0 +1,86 @@
+"""Per-function dispatch-window queues on the gateway event loop.
+
+The FaaSBatch Invoke Mapper, applied to live requests: the first request
+for a function opens a window timer; requests arriving inside the window
+join its pending list; when the timer fires the whole list is flushed as
+one group to the platform (one container, inline-parallel threads).
+
+Batching happens *here*, on the asyncio loop, not in the platform's
+dispatcher thread — the gateway calls
+:meth:`repro.local.LocalPlatform.submit_group`, which skips the
+platform's own window (the grouping decision is already made) but shares
+its warm pool, retries, timeouts and accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass
+class PendingRequest:
+    """One live request parked in (or dispatched from) a window queue."""
+
+    request_id: str
+    function: str
+    payload: Any
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+    #: Dispatch mode the degradation monitor chose ("batch" | "vanilla").
+    mode: str = "batch"
+    #: Wall-clock the group was flushed to the platform (loop time).
+    dispatched_at: Optional[float] = None
+
+
+#: Callback receiving ``(function, [PendingRequest])`` when a window closes.
+DispatchFn = Callable[[str, List[PendingRequest]], None]
+
+
+@dataclass
+class FunctionBatcher:
+    """One function's dispatch-window queue (event-loop confined)."""
+
+    function: str
+    window_seconds: float
+    dispatch: DispatchFn
+    loop: asyncio.AbstractEventLoop
+    pending: List[PendingRequest] = field(default_factory=list)
+    windows_flushed: int = 0
+    _timer: Optional[asyncio.TimerHandle] = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def enqueue(self, request: PendingRequest) -> None:
+        """Park *request*; the first arrival opens the window timer."""
+        self.pending.append(request)
+        if self._timer is None:
+            self._timer = self.loop.call_later(self.window_seconds,
+                                               self.flush)
+
+    def evict_oldest(self) -> PendingRequest:
+        """Drop the head of the queue (oldest-first shedding)."""
+        victim = self.pending.pop(0)
+        if not self.pending and self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        return victim
+
+    def flush(self) -> None:
+        """Close the window: hand every pending request to ``dispatch``."""
+        self._timer = None
+        if not self.pending:
+            return
+        batch, self.pending = self.pending, []
+        self.windows_flushed += 1
+        self.dispatch(self.function, batch)
+
+    def close(self) -> None:
+        """Cancel the timer and flush whatever is still parked."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.flush()

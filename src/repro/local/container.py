@@ -2,13 +2,21 @@
 
 :class:`LocalContainer` is the real-runtime analogue of
 :class:`repro.model.container.SimContainer`: invocations of one function
-execute as threads inside it (the paper's inline parallelism), optionally
-gated to a fixed concurrency, and share the container's
+execute as parallel threads inside it (the paper's inline parallelism),
+optionally gated to a fixed concurrency, and share the container's
 :class:`~repro.local.multiplexer.ResourceMultiplexer`.
+
+The executing threads come from a grow-on-demand pool owned by the
+container: a worker is created when a batch needs more concurrency than
+the pool has seen, parks itself when its invocation finishes, and is
+reused by later batches.  Steady-state serving therefore creates zero
+threads per request — at gateway rates (tens of thousands of RPS)
+per-invocation ``Thread()`` construction was the throughput ceiling.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from concurrent.futures import Future
@@ -42,6 +50,14 @@ class LocalInvocation:
     #: ``submitted_at`` of attempt 1 (``submitted_at`` is the current
     #: attempt's re-enqueue time once retries happen).
     first_submitted_at: Optional[float] = None
+    #: Sequence number of the dispatch window whose batch this attempt ran
+    #: in (stamped by the platform).  Retried attempts re-enter the queue
+    #: and land in a strictly later window — the re-batching tests assert
+    #: monotonicity across :attr:`attempt_history`.
+    window_seq: Optional[int] = None
+    #: One record per finished attempt: attempt number, window sequence,
+    #: container id and error type (``None`` for a success).
+    attempt_history: List[dict] = field(default_factory=list)
 
     @property
     def latency_seconds(self) -> float:
@@ -114,6 +130,44 @@ class InvocationContext:
         return self.multiplexer.get_or_create(factory, *args, **kwargs)
 
 
+class _PooledWorker:
+    """One reusable execution thread of a container's worker pool.
+
+    The worker blocks on its own task box; ``submit`` hands it exactly
+    one callable.  After the callable returns the worker parks itself
+    back in the container's idle pool — so a worker abandoned by a
+    timed-out handler is simply unavailable until that handler finally
+    returns, and is then reused instead of leaked.
+    """
+
+    __slots__ = ("_box", "thread")
+
+    def __init__(self, container_id: str, index: int,
+                 park: Callable[["_PooledWorker"], None]) -> None:
+        self._box: "queue.SimpleQueue[Optional[Callable[[], None]]]" = (
+            queue.SimpleQueue())
+        self.thread = threading.Thread(
+            target=self._loop, args=(park,), daemon=True,
+            name=f"{container_id}:worker-{index}")
+        self.thread.start()
+
+    def submit(self, task: Callable[[], None]) -> None:
+        self._box.put(task)
+
+    def retire(self) -> None:
+        self._box.put(None)
+
+    def _loop(self, park: Callable[["_PooledWorker"], None]) -> None:
+        while True:
+            task = self._box.get()
+            if task is None:
+                return
+            try:
+                task()
+            finally:
+                park(self)
+
+
 class LocalContainer:
     """A warm 'container' (thread pool) for one function."""
 
@@ -148,6 +202,9 @@ class LocalContainer:
                        if concurrency is not None else None)
         self._active = 0
         self._lock = threading.Lock()
+        self._idle_workers: List[_PooledWorker] = []
+        self._worker_counter = 0
+        self.workers_created = 0
         self.invocations_served = 0
         self.invocations_timed_out = 0
         self.stopped = False
@@ -169,7 +226,29 @@ class LocalContainer:
         if self.active_invocations:
             raise ContainerStateError(
                 f"{self.container_id} is busy ({self.active_invocations})")
-        self.stopped = True
+        with self._lock:
+            self.stopped = True
+            idle, self._idle_workers = self._idle_workers, []
+        for worker in idle:
+            worker.retire()
+
+    # -- worker pool --------------------------------------------------------------
+
+    def _checkout(self) -> _PooledWorker:
+        with self._lock:
+            if self._idle_workers:
+                return self._idle_workers.pop()
+            self._worker_counter += 1
+            self.workers_created += 1
+            index = self._worker_counter
+        return _PooledWorker(self.container_id, index, self._park)
+
+    def _park(self, worker: _PooledWorker) -> None:
+        with self._lock:
+            if not self.stopped:
+                self._idle_workers.append(worker)
+                return
+        worker.retire()
 
     # -- execution ---------------------------------------------------------------
 
@@ -183,17 +262,24 @@ class LocalContainer:
             raise ContainerStateError(f"{self.container_id} is stopped")
         if not invocations:
             raise ValueError("empty batch")
-        threads = []
+        done = threading.Event()
+        remaining = [len(invocations)]
+
+        def run(invocation: LocalInvocation) -> None:
+            try:
+                self._run_one(invocation)
+            finally:
+                with self._lock:
+                    remaining[0] -= 1
+                    finished = remaining[0] == 0
+                if finished:
+                    done.set()
+
         for invocation in invocations:
             invocation.dispatched_at = time.monotonic()
-            thread = threading.Thread(
-                target=self._run_one, args=(invocation,),
-                name=f"{self.container_id}:{invocation.invocation_id}",
-                daemon=True)
-            threads.append(thread)
-            thread.start()
-        for thread in threads:
-            thread.join()
+            worker = self._checkout()
+            worker.submit(lambda invocation=invocation: run(invocation))
+        done.wait()
 
     def _run_one(self, invocation: LocalInvocation) -> None:
         with self._lock:
@@ -223,8 +309,10 @@ class LocalContainer:
         """Run the handler, enforcing the per-invocation timeout if set.
 
         Returns ``(result, error)`` — exactly one is meaningful.  Timeouts
-        run the handler on an inner daemon thread and abandon it when the
-        budget elapses (the thread itself cannot be cancelled).
+        run the handler on a second pooled worker and abandon it when the
+        budget elapses (the thread itself cannot be cancelled); the
+        abandoned worker re-parks itself whenever the handler finally
+        returns, so it is stalled rather than leaked.
         """
         if self.timeout_seconds is None:
             try:
@@ -232,19 +320,18 @@ class LocalContainer:
             except BaseException as error:  # handler failure -> recorded
                 return None, error
         outcome: dict = {}
+        finished = threading.Event()
 
         def call() -> None:
             try:
                 outcome["result"] = self.handler(invocation.payload, context)
             except BaseException as error:
                 outcome["error"] = error
+            finally:
+                finished.set()
 
-        worker = threading.Thread(
-            target=call, daemon=True,
-            name=f"{self.container_id}:{invocation.invocation_id}:handler")
-        worker.start()
-        worker.join(self.timeout_seconds)
-        if worker.is_alive():
+        self._checkout().submit(call)
+        if not finished.wait(self.timeout_seconds):
             with self._lock:
                 self.invocations_timed_out += 1
             return None, InvocationTimeout(

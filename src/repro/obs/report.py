@@ -240,6 +240,101 @@ def _latency_cdfs(records: Iterable[Mapping[str, object]]
     return out
 
 
+def _gateway_cdfs(records: Iterable[Mapping[str, object]]
+                  ) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-policy latency CDFs from ``gateway-cdf`` records."""
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        if record.get("type") != "gateway-cdf":
+            continue
+        policy = str(record.get("policy", "-"))
+        out[policy] = [(float(ms), float(frac))
+                       for ms, frac in record.get("points", [])]
+    return out
+
+
+def _gateway_series(records: Iterable[Mapping[str, object]], name: str
+                    ) -> Dict[str, List[Tuple[float, float]]]:
+    """``policy -> [(seconds, value), ...]`` for one gateway series."""
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        if record.get("type") != "gateway-series" \
+                or record.get("name") != name:
+            continue
+        policy = str(record.get("policy", "-"))
+        out[policy] = [(float(t), float(v))
+                       for t, v in record.get("points", [])]
+    return out
+
+
+def _render_gateway_section(records: Sequence[Mapping[str, object]]) -> str:
+    """The live-gateway panel, or ``""`` when no gateway records exist.
+
+    Returning the empty string keeps simulation-only reports byte-
+    identical to the pre-gateway renderer.
+    """
+    cells = [record["cell"] for record in records
+             if record.get("type") == "gateway-cell"
+             and isinstance(record.get("cell"), dict)]
+    flips = [record for record in records
+             if record.get("type") == "gateway-flip"]
+    cdfs = _gateway_cdfs(records)
+    goodput = _gateway_series(records, "goodput_rps")
+    if not cells and not cdfs and not goodput:
+        return ""
+    rows = []
+    for cell in sorted(cells, key=lambda c: str(c.get("cell"))):
+        latency = cell.get("latency_ms", {})
+        rows.append(
+            f"<tr><td>{html.escape(str(cell.get('cell')))}</td>"
+            f"<td>{html.escape(str(cell.get('policy')))}</td>"
+            f"<td>{html.escape(str(cell.get('transport')))}</td>"
+            f"<td>{cell.get('offered_rps', 0):g}</td>"
+            f"<td>{cell.get('goodput_rps', 0):g}</td>"
+            f"<td>{float(cell.get('goodput_ratio', 0.0)):.1%}</td>"
+            f"<td>{float(latency.get('p50', 0.0)):.1f}</td>"
+            f"<td>{float(latency.get('p99', 0.0)):.1f}</td>"
+            f"<td>{cell.get('shed', 0)}</td>"
+            f"<td>{len(cell.get('mode_flips', []))}</td></tr>")
+    table = (
+        "<table><thead><tr><th>cell</th><th>policy</th><th>transport</th>"
+        "<th>offered rps</th><th>goodput rps</th><th>goodput</th>"
+        "<th>p50 ms</th><th>p99 ms</th><th>shed</th><th>flips</th>"
+        "</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        if rows else "<p>No gateway-cell records in input.</p>")
+    parts = ["<h2>Live gateway</h2>", table]
+    if flips:
+        flip_items = "".join(
+            f"<li>{html.escape(str(flip.get('policy')))}: "
+            f"{html.escape(str(flip.get('from')))} → "
+            f"{html.escape(str(flip.get('to')))} "
+            f"at request #{flip.get('seq')}</li>"
+            for flip in flips)
+        parts.append("<p>Degradation-monitor flips:</p>"
+                     f"<ul>{flip_items}</ul>")
+    charts: List[Tuple[str, str, str]] = []
+    if cdfs:
+        charts.append(
+            ("chart-gateway-cdf", "Gateway response-latency CDF by policy",
+             line_chart(cdfs, "latency (ms)", "P(X ≤ x)")))
+    if goodput:
+        charts.append(
+            ("chart-gateway-goodput", "Gateway goodput over time",
+             line_chart(goodput, "time (s)", "goodput (rps)")))
+    shed = _gateway_series(records, "shed_rps")
+    if shed and any(v for points in shed.values() for _, v in points):
+        charts.append(
+            ("chart-gateway-shed", "Gateway shed rate over time",
+             line_chart(shed, "time (s)", "shed (rps)")))
+    parts.extend(
+        f'<h2>{html.escape(caption)}</h2>\n'
+        f'<figure id="{chart_id}">\n{svg}\n'
+        f'<figcaption>{html.escape(caption)}</figcaption>\n</figure>'
+        for chart_id, caption, svg in charts)
+    return "\n".join(parts)
+
+
 def render_report(records: Iterable[Mapping[str, object]],
                   title: str = "FaaSBatch scheduler comparison") -> str:
     """Render the full self-contained HTML report from a record stream."""
@@ -281,6 +376,9 @@ def render_report(records: Iterable[Mapping[str, object]],
         "<th>dominant stage</th><th>share</th><th>p99 ms</th></tr></thead>"
         f"<tbody>{''.join(table_rows)}</tbody></table>"
         if table_rows else "<p>No span records in input.</p>")
+    gateway = _render_gateway_section(records)
+    if gateway:
+        gateway = f"\n{gateway}"
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -292,7 +390,7 @@ def render_report(records: Iterable[Mapping[str, object]],
 <h1>{html.escape(title)}</h1>
 <h2>Critical path</h2>
 {table}
-{figures}
+{figures}{gateway}
 </body>
 </html>
 """

@@ -111,6 +111,7 @@ def run_experiment(scheduler: "Scheduler",
         samples=machine.samples(),
         completion_ms=env.now,
         kernel_events=env.events_processed,
+        final_busy_core_ms=cpu.busy_core_ms(),
         trace=platform.obs.tracer,
         metrics=platform.obs.metrics,
         sampler=platform.obs.sampler)

@@ -49,6 +49,12 @@ class ExperimentResult:
     trace: Optional[InvocationTracer] = None
     metrics: Optional[MetricsRegistry] = None
     sampler: Optional[TimeSeriesSampler] = None
+    #: Exact cumulative busy-core-ms read from the CPU engine at run
+    #: completion.  The sampler only records on its 1 Hz grid, so the last
+    #: sample misses work done between the final grid point and
+    #: completion; :meth:`total_cpu_core_seconds` prefers this value and
+    #: falls back to the last sample for legacy/deserialised results.
+    final_busy_core_ms: Optional[float] = None
 
     # -- success / failure -----------------------------------------------------
 
@@ -168,6 +174,8 @@ class ExperimentResult:
 
     def total_cpu_core_seconds(self) -> float:
         """Total computation performed during the run, in core-seconds."""
+        if self.final_busy_core_ms is not None:
+            return self.final_busy_core_ms / 1000.0
         return self._active_samples()[-1].cpu_busy_core_ms / 1000.0
 
     def client_memory_footprint_mb(self) -> float:

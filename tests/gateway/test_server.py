@@ -1,0 +1,286 @@
+"""End-to-end gateway tests: core invoke path and the HTTP transport."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway import (
+    AdmissionConfig,
+    DegradationConfig,
+    Gateway,
+    GatewayConfig,
+    GatewayServer,
+    demo_platform,
+)
+from repro.local import LocalPlatform, LocalPlatformConfig
+
+
+def fast_platform(**kwargs) -> LocalPlatform:
+    defaults = dict(policy="faasbatch", window_seconds=0.005,
+                    cold_start_seconds=0.0)
+    defaults.update(kwargs)
+    return demo_platform(LocalPlatformConfig(**defaults))
+
+
+def make_gateway(platform: LocalPlatform, **kwargs) -> Gateway:
+    defaults = dict(policy="faasbatch", window_seconds=0.005,
+                    deadline_seconds=5.0,
+                    degradation=DegradationConfig(enabled=False))
+    defaults.update(kwargs)
+    return Gateway(platform, GatewayConfig(**defaults))
+
+
+def run_with_gateway(scenario, **gateway_kwargs):
+    """Run async *scenario(gateway)* against a fresh demo stack."""
+
+    async def main():
+        platform = fast_platform()
+        gateway = make_gateway(platform, **gateway_kwargs)
+        try:
+            return await scenario(gateway)
+        finally:
+            gateway.close()
+            await asyncio.get_event_loop().run_in_executor(
+                None, platform.shutdown)
+
+    return asyncio.run(main())
+
+
+class TestGatewayCore:
+    def test_batched_requests_share_a_window(self):
+        async def scenario(gateway):
+            responses = await asyncio.gather(*[
+                gateway.invoke("echo", {"n": i}) for i in range(8)])
+            return responses, gateway.stats()
+
+        responses, stats = run_with_gateway(scenario)
+        assert [r.status for r in responses] == [200] * 8
+        assert [r.body["result"]["n"] for r in responses] == list(range(8))
+        assert all(r.mode == "batch" for r in responses)
+        # All eight arrived inside one 5 ms window -> one group dispatch.
+        assert stats["batches_dispatched"] == 1
+        assert stats["batched_requests"] == 8
+
+    def test_unknown_function_404(self):
+        async def scenario(gateway):
+            return await gateway.invoke("nope", {})
+
+        response = run_with_gateway(scenario)
+        assert response.status == 404
+
+    def test_handler_error_500(self):
+        async def scenario(gateway):
+            return await gateway.invoke("fib", {"n": "not-a-number"})
+
+        response = run_with_gateway(scenario)
+        assert response.status == 500
+        assert response.body["error"] == "ValueError"
+
+    def test_inflight_cap_sheds_429(self):
+        async def scenario(gateway):
+            slow = asyncio.ensure_future(
+                gateway.invoke("sleep", {"ms": 200}))
+            await asyncio.sleep(0.02)  # let it be admitted
+            shed = await gateway.invoke("echo", {})
+            slow_response = await slow
+            return shed, slow_response
+
+        shed, slow_response = run_with_gateway(
+            scenario, admission=AdmissionConfig(max_inflight=1))
+        assert shed.status == 429
+        assert shed.retry_after_seconds is not None
+        assert slow_response.status == 200
+
+    def test_queue_depth_sheds_newest(self):
+        async def scenario(gateway):
+            first = [asyncio.ensure_future(gateway.invoke("echo", {"n": i}))
+                     for i in range(2)]
+            await asyncio.sleep(0)
+            shed = await gateway.invoke("echo", {"n": 99})
+            admitted = await asyncio.gather(*first)
+            return shed, admitted
+
+        shed, admitted = run_with_gateway(
+            scenario,
+            window_seconds=0.05,
+            admission=AdmissionConfig(max_queue_depth=2,
+                                      shed_policy="newest"))
+        assert shed.status == 429
+        assert [r.status for r in admitted] == [200, 200]
+
+    def test_queue_depth_evicts_oldest(self):
+        async def scenario(gateway):
+            first = [asyncio.ensure_future(gateway.invoke("echo", {"n": i}))
+                     for i in range(2)]
+            await asyncio.sleep(0)
+            newest = asyncio.ensure_future(
+                gateway.invoke("echo", {"n": 99}))
+            responses = await asyncio.gather(*first, newest)
+            return responses
+
+        responses = run_with_gateway(
+            scenario,
+            window_seconds=0.05,
+            admission=AdmissionConfig(max_queue_depth=2,
+                                      shed_policy="oldest"))
+        # The oldest request was evicted with 429; the newcomer served.
+        assert [r.status for r in responses] == [429, 200, 200]
+
+    def test_deadline_expires_504(self):
+        async def scenario(gateway):
+            return await gateway.invoke("sleep", {"ms": 500})
+
+        response = run_with_gateway(scenario, deadline_seconds=0.05)
+        assert response.status == 504
+        assert response.body["error"] == "deadline exceeded"
+
+    def test_draining_platform_503(self):
+        async def main():
+            platform = fast_platform()
+            gateway = make_gateway(platform)
+            await asyncio.get_event_loop().run_in_executor(
+                None, platform.shutdown)
+            return await gateway.invoke("echo", {})
+
+        response = asyncio.run(main())
+        assert response.status == 503
+
+    def test_vanilla_policy_dispatches_immediately(self):
+        async def scenario(gateway):
+            response = await gateway.invoke("echo", {"n": 1})
+            return response, gateway.stats()
+
+        response, stats = run_with_gateway(
+            scenario, policy="vanilla", window_seconds=0.0)
+        assert response.status == 200
+        assert response.mode == "vanilla"
+        assert stats["batched_requests"] == 0
+        assert stats["degradation"]["mode"] == "vanilla"
+
+
+class TestGatewayServer:
+    @staticmethod
+    async def http_request(host, port, method, path, payload=None):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = b"" if payload is None else json.dumps(payload).encode()
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n").encode()
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split(b" ")[1])
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode().partition(":")
+                headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            raw = await reader.readexactly(length) if length else b""
+            return status, headers, json.loads(raw) if raw else None
+        finally:
+            writer.close()
+
+    def run_with_server(self, scenario):
+        async def main():
+            platform = fast_platform()
+            gateway = make_gateway(platform)
+            server = GatewayServer(gateway, port=0)
+            await server.start()
+            try:
+                return await scenario(server)
+            finally:
+                await server.stop()
+                await asyncio.get_event_loop().run_in_executor(
+                    None, platform.shutdown)
+
+        return asyncio.run(main())
+
+    def test_invoke_roundtrip(self):
+        async def scenario(server):
+            return await self.http_request(
+                server.host, server.port, "POST", "/invoke/echo",
+                {"n": 42})
+
+        status, headers, body = self.run_with_server(scenario)
+        assert status == 200
+        assert body == {"result": {"n": 42}}
+        assert headers["x-dispatch-mode"] == "batch"
+
+    def test_healthz_stats_metrics(self):
+        async def scenario(server):
+            return [await self.http_request(server.host, server.port,
+                                            "GET", path)
+                    for path in ("/healthz", "/stats", "/metrics")]
+
+        results = self.run_with_server(scenario)
+        statuses = [status for status, _, _ in results]
+        assert statuses == [200, 200, 200]
+        assert results[1][2]["policy"] == "faasbatch"
+
+    def test_unknown_route_404_and_bad_method_405(self):
+        async def scenario(server):
+            missing = await self.http_request(
+                server.host, server.port, "GET", "/nope")
+            wrong = await self.http_request(
+                server.host, server.port, "GET", "/invoke/echo")
+            return missing[0], wrong[0]
+
+        missing, wrong = self.run_with_server(scenario)
+        assert missing == 404
+        assert wrong == 405
+
+    def test_malformed_json_400(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port)
+            try:
+                body = b"{not json"
+                writer.write((f"POST /invoke/echo HTTP/1.1\r\n"
+                              f"Host: x\r\nContent-Length: {len(body)}"
+                              f"\r\nConnection: close\r\n\r\n").encode()
+                             + body)
+                await writer.drain()
+                status_line = await reader.readline()
+                return int(status_line.split(b" ")[1])
+            finally:
+                writer.close()
+
+        assert self.run_with_server(scenario) == 400
+
+
+class TestAdaptiveGateway:
+    def test_probe_requests_carry_opposite_mode(self):
+        async def scenario(gateway):
+            responses = []
+            for _ in range(6):
+                responses.append(await gateway.invoke("echo", {}))
+            return responses
+
+        responses = run_with_gateway(
+            scenario,
+            degradation=DegradationConfig(
+                enabled=True, window_size=8, min_samples=8,
+                probe_every=3, cooldown=0))
+        modes = [r.mode for r in responses]
+        assert modes == ["batch", "batch", "vanilla",
+                         "batch", "batch", "vanilla"]
+        assert all(r.status == 200 for r in responses)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"policy": "nope"},
+    {"window_seconds": -1.0},
+    {"deadline_seconds": 0.0},
+])
+def test_gateway_config_rejects_bad_values(kwargs):
+    from repro.common.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(**kwargs)

@@ -11,6 +11,7 @@ from repro.common.errors import (
     ConfigurationError,
     ContainerStateError,
     FunctionNotRegistered,
+    PlatformStopped,
 )
 from repro.local.clients import FakeS3Client, InMemoryBucketStore
 from repro.local.container import LocalContainer, LocalInvocation
@@ -198,7 +199,7 @@ class TestLocalPlatform:
         platform = LocalPlatform()
         platform.register("echo", echo_handler)
         platform.shutdown()
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PlatformStopped):
             platform.invoke("echo", 1)
 
     def test_invalid_policy_rejected(self):

@@ -87,6 +87,79 @@ class TestRenderReport:
         assert written > 0
 
 
+def _gateway_records():
+    """A two-policy gateway record stream (loadgen report_records shape)."""
+    records = []
+    for policy, p99 in (("faasbatch", 40.0), ("vanilla", 900.0)):
+        records.append({"type": "gateway-cell", "cell": {
+            "cell": policy, "policy": policy, "transport": "inproc",
+            "config": {"rps": 1000.0, "duration_s": 5.0, "seed": 13,
+                       "arrival": "poisson", "mix": {"echo": 1.0}},
+            "offered_rps": 1000.0, "requests": 5000, "completed": 4900,
+            "shed": 100, "timeouts": 0, "errors": 0,
+            "achieved_rps": 1000.0, "goodput_rps": 980.0,
+            "goodput_ratio": 0.98,
+            "latency_ms": {"count": 4900, "mean": 12.0, "p50": 10.0,
+                           "p95": 25.0, "p99": p99, "max": 2 * p99},
+            "lateness_ms": {"count": 5000, "mean": 0.2, "p50": 0.1,
+                            "p95": 0.5, "p99": 1.0, "max": 5.0},
+            "mode_flips": [], "final_mode": "batch",
+            "batches_dispatched": 400, "mean_batch_size": 12.0}})
+        records.append({"type": "gateway-cdf", "policy": policy,
+                        "points": [[1.0, 0.5], [p99, 0.99],
+                                   [2 * p99, 1.0]]})
+        for name in ("offered_rps", "goodput_rps", "shed_rps"):
+            records.append({"type": "gateway-series", "policy": policy,
+                            "name": name,
+                            "points": [[0.25, 1000.0], [0.75, 980.0]]})
+    records.append({"type": "gateway-flip", "policy": "faasbatch",
+                    "seq": 321, "from": "batch", "to": "vanilla"})
+    return records
+
+
+class TestGatewayPanel:
+    def test_absent_without_gateway_records(self):
+        document = render_report(_records())
+        assert "Live gateway" not in document
+        assert "chart-gateway-cdf" not in document
+
+    def test_panel_renders_cells_and_charts(self):
+        document = render_report(_records() + _gateway_records())
+        assert "Live gateway" in document
+        for chart_id in ("chart-gateway-cdf", "chart-gateway-goodput",
+                         "chart-gateway-shed"):
+            assert f'id="{chart_id}"' in document
+        for token in ("faasbatch", "vanilla", "98.0%"):
+            assert token in document
+
+    def test_flips_listed(self):
+        document = render_report(_gateway_records())
+        assert "Degradation-monitor flips" in document
+        assert "request #321" in document
+
+    def test_gateway_only_report_renders(self):
+        document = render_report(_gateway_records())
+        assert document.startswith("<!DOCTYPE html>")
+        assert "Live gateway" in document
+        # The sim charts still render their empty-state placeholders.
+        assert "No span records" in document
+
+    def test_deterministic(self):
+        stream = _records() + _gateway_records()
+        assert render_report(stream) == render_report(stream)
+
+    def test_shed_chart_omitted_when_nothing_shed(self):
+        records = [r for r in _gateway_records()
+                   if not (r.get("type") == "gateway-series"
+                           and r.get("name") == "shed_rps")]
+        records.append({"type": "gateway-series", "policy": "faasbatch",
+                        "name": "shed_rps",
+                        "points": [[0.25, 0.0], [0.75, 0.0]]})
+        document = render_report(records)
+        assert "chart-gateway-shed" not in document
+        assert "chart-gateway-goodput" in document
+
+
 class TestCharts:
     def test_line_chart_one_polyline_per_series(self):
         svg = line_chart({"a": [(0.0, 1.0), (1.0, 2.0)],

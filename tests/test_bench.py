@@ -16,6 +16,7 @@ from repro.bench import (
     bench_trace,
     cluster_cell_configs,
     cluster_report,
+    gateway_report,
     load_report,
     run_bench,
     run_cluster_cell,
@@ -342,3 +343,81 @@ class TestClusterCells:
             validate_report({"schema": BENCH_SCHEMA,
                              "config": {"invocations": 1, "functions": 1,
                                         "seed": 13}})
+
+
+class TestGatewayCells:
+    @staticmethod
+    def row(**overrides):
+        base = {
+            "cell": "faasbatch", "policy": "faasbatch",
+            "transport": "inproc",
+            "config": {"rps": 1000.0, "duration_s": 5.0, "seed": 13,
+                       "arrival": "poisson",
+                       "mix": {"echo": 0.9, "io": 0.1}},
+            "offered_rps": 1000.0, "requests": 5000, "completed": 5000,
+            "shed": 0, "timeouts": 0, "errors": 0,
+            "achieved_rps": 998.0, "goodput_rps": 998.0,
+            "goodput_ratio": 1.0,
+            "latency_ms": {"count": 5000, "mean": 12.0, "p50": 10.0,
+                           "p95": 25.0, "p99": 40.0, "max": 80.0},
+            "lateness_ms": {"count": 5000, "mean": 0.2, "p50": 0.1,
+                            "p95": 0.5, "p99": 1.0, "max": 5.0},
+            "mode_flips": [], "final_mode": "batch",
+            "batches_dispatched": 450, "mean_batch_size": 11.1,
+        }
+        base.update(overrides)
+        return base
+
+    def test_gateway_report_validates(self):
+        report = gateway_report([self.row()])
+        validate_report(report)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["config"] == {"invocations": 5000, "functions": 2,
+                                    "seed": 13}
+
+    def test_gateway_report_write_and_load(self, tmp_path):
+        path = tmp_path / "BENCH_gateway.json"
+        report = gateway_report([self.row(),
+                                 self.row(cell="vanilla",
+                                          policy="vanilla")])
+        write_report(report, str(path))
+        assert load_report(str(path)) == report
+        assert report["config"]["invocations"] == 10_000
+
+    def test_requires_at_least_one_cell(self):
+        with pytest.raises(ValueError, match="at least one"):
+            gateway_report([])
+
+    @pytest.mark.parametrize("overrides,match", [
+        ({"policy": "magic"}, "policy"),
+        ({"transport": "grpc"}, "transport"),
+        ({"goodput_ratio": 1.5}, "goodput_ratio"),
+        ({"requests": -1}, "requests"),
+        ({"mode_flips": 3}, "mode_flips"),
+        ({"latency_ms": {"p50": 1.0}}, "latency_ms"),
+        ({"config": {"rps": 100.0}}, "config"),
+    ])
+    def test_validator_rejects_malformed_cells(self, overrides, match):
+        report = gateway_report([self.row()])
+        report["gateway_cells"] = [self.row(**overrides)]
+        with pytest.raises(ValueError, match=match):
+            validate_report(report)
+
+    def test_mixed_report_with_cluster_cells(self):
+        cluster_row = {
+            "cell": "azure-smoke",
+            "config": {"invocations": 100, "functions": 2, "seed": 13,
+                       "workers": 4, "shards": 2},
+            "isolation": "inline", "invocations": 100, "completed": 100,
+            "failed": 0, "wall_clock_s": 1.0,
+            "invocations_per_sec": 100.0, "sim_completion_ms": 1000.0,
+            "kernel_events": 500, "max_shard_rss_mb": 10.0,
+            "load_imbalance": 0.1,
+            "per_shard": [{"shard": 0, "submitted": 50,
+                           "wall_clock_s": 1.0, "peak_rss_mb": 10.0}],
+            "latency_ms": {"count": 100, "mean": 5.0, "p50": 4.0,
+                           "p95": 9.0, "p99": 10.0},
+        }
+        report = gateway_report([self.row()])
+        report["cluster_cells"] = [cluster_row]
+        validate_report(report)  # both sections coexist

@@ -198,6 +198,35 @@ class TestAzureCommands:
         assert "could not locate" in capsys.readouterr().err
 
 
+class TestLoadgen:
+    def test_loadgen_writes_all_artifacts(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_gateway.json"
+        records = tmp_path / "gateway.jsonl"
+        report = tmp_path / "gateway.html"
+        assert main(["loadgen", "--rps", "150", "--duration", "0.5",
+                     "--policies", "faasbatch,vanilla",
+                     "--out", str(out_json), "--records", str(records),
+                     "--report", str(report)]) == 0
+        printed = capsys.readouterr().out
+        assert "Gateway load cells" in printed
+        from repro.bench import load_report
+        artifact = load_report(str(out_json))
+        assert [c["cell"] for c in artifact["gateway_cells"]] == \
+            ["faasbatch", "vanilla"]
+        lines = [json.loads(line)
+                 for line in records.read_text().splitlines()]
+        assert {line["type"] for line in lines} >= \
+            {"gateway-cell", "gateway-cdf", "gateway-series"}
+        html = report.read_text()
+        assert "Live gateway" in html
+        assert "chart-gateway-cdf" in html
+
+    def test_loadgen_rejects_bad_mix(self, capsys):
+        assert main(["loadgen", "--rps", "10", "--duration", "0.1",
+                     "--mix", "echo"]) == 2
+        assert "bad mix entry" in capsys.readouterr().err
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
