@@ -12,13 +12,17 @@ from typing import Dict, List
 import pytest
 
 from repro.baselines import (
+    DEFAULT_SCHEDULERS,
     KrakenConfig,
     KrakenParameters,
     KrakenScheduler,
+    SchedulerBuild,
     SfsScheduler,
     VanillaScheduler,
+    build_scheduler,
+    scheduler_labels,
 )
-from repro.core import FaaSBatchConfig, FaaSBatchScheduler
+from repro.core import FaaSBatchScheduler
 from repro.platformsim import ExperimentResult, run_experiment
 from repro.workload import (
     cpu_workload_trace,
@@ -27,19 +31,15 @@ from repro.workload import (
     io_workload_trace,
 )
 
-SCHEDULER_ORDER = ("Vanilla", "SFS", "Kraken", "FaaSBatch")
+SCHEDULER_ORDER = scheduler_labels(DEFAULT_SCHEDULERS)
 
 
 def build_schedulers(kraken_params: KrakenParameters,
                      window_ms: float = 200.0) -> List:
     """The four §IV policies at a given dispatch interval."""
-    return [
-        VanillaScheduler(),
-        SfsScheduler(),
-        KrakenScheduler(KrakenConfig(parameters=kraken_params,
-                                     window_ms=window_ms)),
-        FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)),
-    ]
+    build = SchedulerBuild(window_ms=window_ms,
+                           kraken_parameters=kraken_params)
+    return [build_scheduler(name, build) for name in DEFAULT_SCHEDULERS]
 
 
 @pytest.fixture(scope="session")

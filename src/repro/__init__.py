@@ -6,8 +6,10 @@ Serverless Computing by Batching and Expanding Functions"*:
 * :mod:`repro.core` — the paper's contribution: Invoke Mapper,
   Inline-Parallel Producer, Resource Multiplexer, and the assembled
   :class:`~repro.core.FaaSBatchScheduler`;
-* :mod:`repro.baselines` — Vanilla, Kraken (SLO/slack batching) and SFS
-  (per-core adaptive time slices);
+* :mod:`repro.baselines` — Vanilla, Kraken (SLO/slack batching), SFS
+  (per-core adaptive time slices), Hiku (pull-based dispatch), DataDriven
+  (runtime-estimate SPT) and the scheduling-policy registry that lets
+  every surface select them by name;
 * :mod:`repro.sim` / :mod:`repro.model` / :mod:`repro.platformsim` — the
   deterministic simulation substrate (DES kernel, two-level fair-share CPU,
   containers, warm pools, docker facade, experiment harness);
@@ -34,13 +36,19 @@ from repro.cluster import (
     run_cluster_experiment,
 )
 from repro.baselines import (
+    DEFAULT_SCHEDULERS,
+    DataDrivenScheduler,
+    HikuScheduler,
     KrakenConfig,
     KrakenMode,
     KrakenParameters,
     KrakenScheduler,
     Scheduler,
+    SchedulerBuild,
     SfsScheduler,
     VanillaScheduler,
+    build_scheduler,
+    registered_policies,
 )
 from repro.core import (
     FaaSBatchConfig,
@@ -88,12 +96,15 @@ __all__ = [
     "compare_balancers",
     "run_cluster_experiment",
     "DEFAULT_CALIBRATION",
+    "DEFAULT_SCHEDULERS",
+    "DataDrivenScheduler",
     "ExperimentResult",
     "FaaSBatchConfig",
     "FaaSBatchScheduler",
     "FunctionGroup",
     "FunctionKind",
     "FunctionSpec",
+    "HikuScheduler",
     "InlineParallelProducer",
     "Invocation",
     "InvokeMapper",
@@ -105,15 +116,18 @@ __all__ = [
     "LocalPlatformConfig",
     "ResourceMultiplexer",
     "Scheduler",
+    "SchedulerBuild",
     "ServerlessPlatform",
     "SfsScheduler",
     "SimResourceMultiplexer",
     "VanillaScheduler",
     "__version__",
+    "build_scheduler",
     "cpu_workload_trace",
     "fib_function_spec",
     "io_function_spec",
     "io_workload_trace",
+    "registered_policies",
     "run_comparison",
     "run_experiment",
 ]

@@ -1,22 +1,46 @@
-"""Baseline schedulers: Vanilla, Kraken, SFS (§IV)."""
+"""Baseline schedulers (§IV) and the scheduling-policy registry."""
 
 from repro.baselines.base import CpuDiscipline, Scheduler
+from repro.baselines.datadriven import DataDrivenScheduler
+from repro.baselines.hiku import HikuScheduler
 from repro.baselines.kraken import (
     KrakenConfig,
     KrakenMode,
     KrakenParameters,
     KrakenScheduler,
 )
+from repro.baselines.registry import (
+    DEFAULT_SCHEDULERS,
+    PolicyInfo,
+    SchedulerBuild,
+    build_scheduler,
+    parse_scheduler_names,
+    policy_info,
+    register_policy,
+    registered_policies,
+    scheduler_labels,
+)
 from repro.baselines.sfs import SfsScheduler
 from repro.baselines.vanilla import VanillaScheduler
 
 __all__ = [
     "CpuDiscipline",
+    "DEFAULT_SCHEDULERS",
+    "DataDrivenScheduler",
+    "HikuScheduler",
     "KrakenConfig",
     "KrakenMode",
     "KrakenParameters",
     "KrakenScheduler",
+    "PolicyInfo",
     "Scheduler",
+    "SchedulerBuild",
     "SfsScheduler",
     "VanillaScheduler",
+    "build_scheduler",
+    "parse_scheduler_names",
+    "policy_info",
+    "register_policy",
+    "registered_policies",
+    "scheduler_labels",
 ]

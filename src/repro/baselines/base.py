@@ -212,18 +212,3 @@ class Scheduler(abc.ABC):
     @abc.abstractmethod
     def start(self, platform: "ServerlessPlatform") -> None:
         """Spawn the policy's serving processes on *platform*."""
-
-    # -- shared helpers -----------------------------------------------------------
-
-    @staticmethod
-    def run_on_container(platform: "ServerlessPlatform",
-                         container: SimContainer,
-                         invocations: List[Invocation],
-                         cold_start_ms: float):
-        """Back-compat wrapper over :func:`execute_on_container`.
-
-        Executes with the serial (Vanilla/SFS/Kraken) plan; prefer calling
-        :func:`run_dispatch_pipeline` directly in new code.
-        """
-        yield from execute_on_container(platform, container, invocations,
-                                        cold_start_ms, SERIAL_DISPATCH_PLAN)

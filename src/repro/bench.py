@@ -57,15 +57,15 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.baselines.kraken import (
-    KrakenConfig,
+from repro.baselines import (
+    DEFAULT_SCHEDULERS,
     KrakenParameters,
-    KrakenScheduler,
+    SchedulerBuild,
+    build_scheduler,
+    parse_scheduler_names,
+    policy_info,
+    registered_policies,
 )
-from repro.baselines.sfs import SfsScheduler
-from repro.baselines.vanilla import VanillaScheduler
-from repro.core.config import FaaSBatchConfig
-from repro.core.scheduler import FaaSBatchScheduler
 from repro.obs import Observability
 from repro.platformsim.experiment import run_experiment
 from repro.workload.azure import REPLAY_DURATION_MS, replay_minute_arrivals
@@ -83,7 +83,11 @@ from repro.workload.trace import Trace, TraceRecord
 #: v4 added the live-serving ``gateway_cells`` section (seeded open-loop
 #: load cells against the asyncio gateway); a report now carries any
 #: non-empty combination of ``runs``, ``cluster_cells``, ``gateway_cells``.
-BENCH_SCHEMA = "faasbatch-bench/v4"
+#: v5 made the scheduler grid registry-driven (``--schedulers`` selects a
+#: subset, recorded in the top-level ``schedulers`` list; obs/speedup
+#: blocks become conditional on the selection) and added the
+#: ``window_cells`` section (FaaSBatch fixed-vs-adaptive window sizing).
+BENCH_SCHEMA = "faasbatch-bench/v5"
 
 #: Scheduler label of the observability-overhead run (tracing + sampling
 #: on).  Distinct from "FaaSBatch" so the (scheduler, engine) cells stay
@@ -97,6 +101,10 @@ TILE_INVOCATIONS = 4000
 
 #: Schedulers whose execution rides the fair-share engine under test.
 FAIR_SHARE_SCHEDULERS = ("Vanilla", "Kraken", "FaaSBatch")
+
+#: Window-sizing policies a ``window_cells`` comparison measures, in row
+#: order: the paper's fixed window first, then the adaptive policy.
+WINDOW_CELL_POLICIES = ("fixed", "adaptive")
 
 #: ``ru_maxrss`` unit: bytes on macOS, kilobytes everywhere else.
 _RSS_TO_MB = (1024.0 * 1024.0) if sys.platform == "darwin" else 1024.0
@@ -246,34 +254,41 @@ def _measure(scheduler_factory: Callable[[], object], trace: Trace, specs,
 
 
 def _scheduler_factory(name: str, config: BenchConfig,
-                       kraken_params: Optional[Dict[str, Dict[str, float]]]
+                       kraken_params: Optional[Dict[str, Dict[str, float]]],
+                       window_policy: str = "fixed"
                        ) -> Callable[[], object]:
-    if name == "Vanilla":
-        return VanillaScheduler
-    if name == "SFS":
-        return SfsScheduler
-    if name == "Kraken":
-        if kraken_params is None:
-            raise ValueError("Kraken cell needs kraken_params")
+    """Registry-backed factory for one bench cell's scheduler.
+
+    ``name`` is any registry key or report label; the subprocess protocol
+    ships Kraken's learned parameters as plain dicts, rebuilt here into
+    :class:`KrakenParameters`.
+    """
+    info = policy_info(name)
+    params: Optional[KrakenParameters] = None
+    if kraken_params is not None:
         params = KrakenParameters(
             slo_ms=dict(kraken_params["slo_ms"]),
             mean_execution_ms=dict(kraken_params["mean_execution_ms"]))
-        return lambda: KrakenScheduler(KrakenConfig(
-            parameters=params, window_ms=config.window_ms))
-    if name == "FaaSBatch":
-        return lambda: FaaSBatchScheduler(FaaSBatchConfig(
-            window_ms=config.window_ms))
-    raise ValueError(f"unknown bench scheduler {name!r}")
+    if info.needs_vanilla_profile and params is None:
+        raise ValueError("Kraken cell needs kraken_params")
+    build = SchedulerBuild(window_ms=config.window_ms,
+                           window_policy=window_policy,
+                           kraken_parameters=params)
+    return lambda: build_scheduler(info.name, build)
 
 
 def _cell_spec(config: BenchConfig, scheduler: str, engine: str,
                obs: bool = False, label: Optional[str] = None,
                kraken_params: Optional[Dict] = None, profile: int = 0,
-               want_kraken_params: bool = False) -> Dict[str, object]:
+               want_kraken_params: bool = False,
+               window_policy: str = "fixed",
+               want_latency: bool = False) -> Dict[str, object]:
     return {"config": config.to_dict(), "scheduler": scheduler,
             "engine": engine, "obs": obs, "label": label,
             "kraken_params": kraken_params, "profile": profile,
-            "want_kraken_params": want_kraken_params}
+            "want_kraken_params": want_kraken_params,
+            "window_policy": window_policy,
+            "want_latency": want_latency}
 
 
 def _run_cell_inline(spec: Dict[str, object]) -> Dict[str, object]:
@@ -283,13 +298,25 @@ def _run_cell_inline(spec: Dict[str, object]) -> Dict[str, object]:
     specs = fib_family_specs(config.functions)
     factory = _scheduler_factory(
         str(spec["scheduler"]), config,
-        spec.get("kraken_params"))  # type: ignore[arg-type]
+        spec.get("kraken_params"),  # type: ignore[arg-type]
+        window_policy=str(spec.get("window_policy") or "fixed"))
     obs = (Observability(tracing=True, sampling=True)
            if spec.get("obs") else None)
     result, row = _measure(factory, trace, specs, str(spec["engine"]),
                            obs=obs,
                            label=spec.get("label"),  # type: ignore[arg-type]
                            profile_top=int(spec.get("profile") or 0))
+    if spec.get("want_latency"):
+        stats = result.latency_stats()
+        row["latency_ms"] = {
+            "count": stats.count,
+            "mean": round(stats.mean, 3),
+            "p50": round(stats.median, 3),
+            "p95": round(stats.percentile(95), 3),
+            "p99": round(stats.percentile(99), 3),
+        }
+        row["containers"] = result.provisioned_containers
+        row["goodput"] = round(result.goodput(), 4)
     out: Dict[str, object] = {"row": row}
     if spec.get("want_kraken_params"):
         params = KrakenParameters.from_invocations(
@@ -374,19 +401,55 @@ def _run_cells(cell_specs: List[Dict[str, object]], isolate: bool,
 # -- the full report --------------------------------------------------------------
 
 
+def _select_bench_policies(schedulers) -> List:
+    """Resolve a ``--schedulers`` selection into registry-ordered infos.
+
+    Accepts ``None`` (the default four-scheduler matrix), a comma string,
+    or an iterable of names/labels; rows always come out in registration
+    (canonical report) order regardless of selection order.
+    """
+    if schedulers is None:
+        selected = DEFAULT_SCHEDULERS
+    elif isinstance(schedulers, str):
+        selected = parse_scheduler_names(schedulers)
+    else:
+        selected = parse_scheduler_names(",".join(schedulers))
+    chosen = {policy_info(name).name for name in selected}
+    return [info for info in registered_policies() if info.name in chosen]
+
+
 def run_bench(config: BenchConfig, skip_legacy: bool = False,
               log: Optional[Callable[[str], None]] = None,
               isolate: bool = True, parallel: int = 1,
-              profile_top: int = 0) -> Dict[str, object]:
+              profile_top: int = 0,
+              schedulers=None) -> Dict[str, object]:
     """Produce one complete bench report (the BENCH_sim.json payload).
 
     ``isolate`` runs each cell in a fresh subprocess (the default; see the
     module docstring); ``parallel`` bounds how many isolated cells run at
     once.  ``profile_top`` > 0 embeds that many cProfile hotspots per cell
     (wall-clocks are then profiler-inflated and flagged ``"profiled"``).
+    ``schedulers`` selects a subset of the registry (``None`` keeps the
+    classic four-scheduler matrix); selecting Kraken requires Vanilla in
+    the same selection, since Kraken's parameters are learned from the
+    Vanilla profiling cell.
     """
     emit = log if log is not None else (lambda _msg: None)
-    engines = ["incremental"] + ([] if skip_legacy else ["legacy"])
+    infos = _select_bench_policies(schedulers)
+    labels = [info.label for info in infos]
+    profiled_labels = [info.label for info in infos
+                       if info.needs_vanilla_profile]
+    if profiled_labels and "Vanilla" not in labels:
+        raise ValueError(
+            f"{', '.join(profiled_labels)} learns its parameters from a "
+            "Vanilla profiling cell; add vanilla to the selection")
+    measure_obs = "FaaSBatch" in labels
+    # Only the classic fair-share trio exists in the frozen legacy engine.
+    legacy_labels = [label for label in labels
+                     if label in FAIR_SHARE_SCHEDULERS]
+    engines = ["incremental"]
+    if not skip_legacy and legacy_labels:
+        engines.append("legacy")
 
     def spec(scheduler: str, engine: str, **kwargs) -> Dict[str, object]:
         return _cell_spec(config, scheduler, engine,
@@ -398,63 +461,77 @@ def run_bench(config: BenchConfig, skip_legacy: bool = False,
     # obtained by the Vanilla strategy as the function SLO"); both engines
     # produce byte-identical invocations, so one derivation serves both
     # Kraken cells.
-    phase1: List[Dict[str, object]] = [
-        spec("Vanilla", "incremental", want_kraken_params=True),
-        spec("SFS", "incremental"),
-        spec("FaaSBatch", "incremental"),
-        spec("FaaSBatch", "incremental", obs=True, label=OBS_RUN_LABEL),
-    ]
-    if not skip_legacy:
-        phase1.append(spec("Vanilla", "legacy"))
-        phase1.append(spec("FaaSBatch", "legacy"))
+    phase1: List[Dict[str, object]] = []
+    for info in infos:
+        if info.needs_vanilla_profile:
+            continue  # phase 2: waits on the Vanilla derivation
+        kwargs = {}
+        if info.label == "Vanilla" and profiled_labels:
+            kwargs["want_kraken_params"] = True
+        phase1.append(spec(info.label, "incremental", **kwargs))
+    if measure_obs:
+        phase1.append(spec("FaaSBatch", "incremental", obs=True,
+                           label=OBS_RUN_LABEL))
+    if "legacy" in engines:
+        for label in legacy_labels:
+            if label == "Kraken":
+                continue  # phase 2
+            phase1.append(spec(label, "legacy"))
     outputs = _run_cells(phase1, isolate, parallel, emit)
     by_key: Dict[Tuple[str, str], Dict[str, object]] = {}
+    kraken_params = None
     for cell, out in zip(phase1, outputs):
         key = (str(cell["label"] or cell["scheduler"]), str(cell["engine"]))
         by_key[key] = out["row"]
-    kraken_params = outputs[0].get("kraken_params")
+        if cell.get("want_kraken_params"):
+            kraken_params = out.get("kraken_params")
 
     # Phase 2: the Kraken cells, parameterised by phase 1's derivation.
-    phase2 = [spec("Kraken", engine, kraken_params=kraken_params)
-              for engine in engines]
-    for cell, out in zip(phase2, _run_cells(phase2, isolate, parallel,
-                                            emit)):
-        by_key[(str(cell["scheduler"]), str(cell["engine"]))] = out["row"]
+    if profiled_labels:
+        phase2 = [spec("Kraken", engine, kraken_params=kraken_params)
+                  for engine in engines]
+        for cell, out in zip(phase2, _run_cells(phase2, isolate, parallel,
+                                                emit)):
+            by_key[(str(cell["scheduler"]), str(cell["engine"]))] = \
+                out["row"]
 
     # Canonical row order (stable across isolation/parallel modes).
-    order: List[Tuple[str, str]] = [
-        ("Vanilla", "incremental"), ("SFS", "incremental"),
-        ("Kraken", "incremental"), ("FaaSBatch", "incremental"),
-        (OBS_RUN_LABEL, "incremental")]
-    if not skip_legacy:
-        order += [("Vanilla", "legacy"), ("Kraken", "legacy"),
-                  ("FaaSBatch", "legacy")]
+    order: List[Tuple[str, str]] = [(label, "incremental")
+                                    for label in labels]
+    if measure_obs:
+        order.append((OBS_RUN_LABEL, "incremental"))
+    if "legacy" in engines:
+        order += [(label, "legacy") for label in legacy_labels]
     runs: List[Dict[str, object]] = []
     for key in order:
         row = by_key[key]
         row["rss_isolated"] = bool(isolate)
         runs.append(row)
 
-    plain = by_key[("FaaSBatch", "incremental")]
-    obs_row = by_key[(OBS_RUN_LABEL, "incremental")]
-    obs_overhead = {
-        "note": ("wall-clock(FaaSBatch+obs) / wall-clock(FaaSBatch), "
-                 "incremental engine; tracing + sampling are pure "
-                 "observers so simulated results are identical"),
-        "plain_wall_clock_s": plain["wall_clock_s"],
-        "obs_wall_clock_s": obs_row["wall_clock_s"],
-        "wall_clock_ratio": round(
-            float(obs_row["wall_clock_s"])  # type: ignore[arg-type]
-            / max(float(plain["wall_clock_s"]), 1e-9), 3),  # type: ignore[arg-type]
-    }
+    obs_overhead = None
+    if measure_obs:
+        plain = by_key[("FaaSBatch", "incremental")]
+        obs_row = by_key[(OBS_RUN_LABEL, "incremental")]
+        obs_overhead = {
+            "note": ("wall-clock(FaaSBatch+obs) / wall-clock(FaaSBatch), "
+                     "incremental engine; tracing + sampling are pure "
+                     "observers so simulated results are identical"),
+            "plain_wall_clock_s": plain["wall_clock_s"],
+            "obs_wall_clock_s": obs_row["wall_clock_s"],
+            "wall_clock_ratio": round(
+                float(obs_row["wall_clock_s"])  # type: ignore[arg-type]
+                / max(float(plain["wall_clock_s"]), 1e-9), 3),  # type: ignore[arg-type]
+        }
     report: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "config": config.to_dict(),
+        "schedulers": labels,
         "engines": engines,
         "isolation": "subprocess" if isolate else "inline",
         "runs": runs,
         "obs_overhead": obs_overhead,
-        "speedup": None if skip_legacy else _speedup_table(runs),
+        "speedup": (None if "legacy" not in engines
+                    else _speedup_table(runs)),
         "baseline": _baseline_table(runs, config),
     }
     return report
@@ -467,8 +544,12 @@ def _speedup_table(runs: List[Dict[str, object]]) -> Dict[str, object]:
     incremental_total = 0.0
     legacy_total = 0.0
     for name in FAIR_SHARE_SCHEDULERS:
-        incremental = by_cell[(name, "incremental")]["wall_clock_s"]
-        legacy = by_cell[(name, "legacy")]["wall_clock_s"]
+        incremental_row = by_cell.get((name, "incremental"))
+        legacy_row = by_cell.get((name, "legacy"))
+        if incremental_row is None or legacy_row is None:
+            continue  # scheduler not in this run's selection
+        incremental = incremental_row["wall_clock_s"]
+        legacy = legacy_row["wall_clock_s"]
         per_scheduler[name] = round(legacy / incremental, 2)
         incremental_total += incremental
         legacy_total += legacy
@@ -532,6 +613,52 @@ def _baseline_table(runs: List[Dict[str, object]],
             "cells": len(incremental_ratios),
             "all_cells": len(all_ratios),
         },
+    }
+
+
+# -- window-sizing cells (schema v5) -----------------------------------------------
+
+
+def run_window_cells(config: BenchConfig,
+                     log: Optional[Callable[[str], None]] = None,
+                     isolate: bool = True,
+                     parallel: int = 1) -> List[Dict[str, object]]:
+    """FaaSBatch fixed-vs-adaptive window cells at the identical load.
+
+    Runs the same scenario once per policy in
+    :data:`WINDOW_CELL_POLICIES` — the paper's fixed 0.2 s window against
+    the arrival-rate-driven :class:`~repro.core.windowing.AdaptiveWindow`
+    — and records end-to-end latency percentiles, goodput and container
+    footprint per cell, so a committed report shows which window sizing
+    wins at that load.
+    """
+    emit = log if log is not None else (lambda _msg: None)
+    cell_specs = [
+        _cell_spec(config, "FaaSBatch", "incremental",
+                   label=f"FaaSBatch[{policy}-window]",
+                   window_policy=policy, want_latency=True)
+        for policy in WINDOW_CELL_POLICIES
+    ]
+    rows: List[Dict[str, object]] = []
+    for cell, out in zip(cell_specs,
+                         _run_cells(cell_specs, isolate, parallel, emit)):
+        row = out["row"]
+        row["cell"] = str(cell["window_policy"])
+        row["window_policy"] = str(cell["window_policy"])
+        row["rss_isolated"] = bool(isolate)
+        rows.append(row)
+    return rows
+
+
+def window_report(config: BenchConfig,
+                  cell_rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap window-sizing cells as a standalone v5 report."""
+    if not cell_rows:
+        raise ValueError("need at least one window cell row")
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": config.to_dict(),
+        "window_cells": cell_rows,
     }
 
 
@@ -694,6 +821,39 @@ def _validate_cluster_cells(cells: object) -> None:
                 raise ValueError(f"latency_ms.{key} must be a number")
 
 
+def _validate_window_cells(cells: object) -> None:
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("window_cells must be a non-empty list when "
+                         "present")
+    numeric = ("invocations", "wall_clock_s", "sim_completion_ms",
+               "kernel_events", "containers")
+    for row in cells:
+        if not isinstance(row, dict):
+            raise ValueError("each window cell must be an object")
+        if row.get("cell") not in WINDOW_CELL_POLICIES:
+            raise ValueError("window cell 'cell' must be one of "
+                             f"{WINDOW_CELL_POLICIES}")
+        if row.get("window_policy") != row.get("cell"):
+            raise ValueError("window cell window_policy must match 'cell'")
+        if not isinstance(row.get("scheduler"), str):
+            raise ValueError("window cell scheduler must be a string")
+        for key in numeric:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"window cell {row.get('cell')!r}: {key} must be a "
+                    "non-negative number")
+        goodput = row.get("goodput")
+        if not isinstance(goodput, (int, float)) or not 0 <= goodput <= 1:
+            raise ValueError("window cell goodput must be in [0, 1]")
+        latency = row.get("latency_ms")
+        if not isinstance(latency, dict):
+            raise ValueError("window cell needs a latency_ms summary")
+        for key in ("p50", "p95", "p99", "mean"):
+            if not isinstance(latency.get(key), (int, float)):
+                raise ValueError(f"latency_ms.{key} must be a number")
+
+
 def _validate_gateway_cells(cells: object) -> None:
     if not isinstance(cells, list) or not cells:
         raise ValueError("gateway_cells must be a non-empty list when "
@@ -745,10 +905,11 @@ def validate_report(report: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless *report* is a well-formed bench report.
 
     Used by the CI smoke job (and the unit tests) to guard the format that
-    downstream BENCH tooling will parse.  A v4 report carries a ``runs``
+    downstream BENCH tooling will parse.  A v5 report carries a ``runs``
     section (the scheduler × engine grid), a ``cluster_cells`` section
     (sharded cluster replays), a ``gateway_cells`` section (live-serving
-    load cells), or any combination.
+    load cells), a ``window_cells`` section (fixed-vs-adaptive window
+    sizing), or any combination.
     """
     if report.get("schema") != BENCH_SCHEMA:
         raise ValueError(f"schema must be {BENCH_SCHEMA!r}, "
@@ -759,18 +920,29 @@ def validate_report(report: Dict[str, object]) -> None:
     for key in ("invocations", "functions", "seed"):
         if not isinstance(config.get(key), (int, float)):
             raise ValueError(f"config.{key} must be a number")
+    schedulers = report.get("schedulers")
+    if schedulers is not None:
+        if not isinstance(schedulers, list) or not schedulers \
+                or not all(isinstance(name, str) for name in schedulers):
+            raise ValueError("schedulers must be a non-empty list of "
+                             "labels when present")
     runs = report.get("runs")
     cluster_cells = report.get("cluster_cells")
     gateway_cells = report.get("gateway_cells")
+    window_cells = report.get("window_cells")
     if not (isinstance(runs, list) and runs) \
             and not (isinstance(cluster_cells, list) and cluster_cells) \
-            and not (isinstance(gateway_cells, list) and gateway_cells):
+            and not (isinstance(gateway_cells, list) and gateway_cells) \
+            and not (isinstance(window_cells, list) and window_cells):
         raise ValueError("report needs a non-empty 'runs', "
-                         "'cluster_cells' or 'gateway_cells' section")
+                         "'cluster_cells', 'gateway_cells' or "
+                         "'window_cells' section")
     if cluster_cells is not None:
         _validate_cluster_cells(cluster_cells)
     if gateway_cells is not None:
         _validate_gateway_cells(gateway_cells)
+    if window_cells is not None:
+        _validate_window_cells(window_cells)
     if runs is None:
         return
     if not isinstance(config.get("window_ms"), (int, float)):
@@ -801,17 +973,28 @@ def validate_report(report: Dict[str, object]) -> None:
     engines = report.get("engines")
     if not isinstance(engines, list) or "incremental" not in engines:
         raise ValueError("engines must list at least 'incremental'")
+    # The obs-overhead contract follows the FaaSBatch cell: measured runs
+    # must carry the paired obs cell and ratio block; a selection without
+    # FaaSBatch has neither (schema v5).
+    has_faasbatch = any(row.get("scheduler") == "FaaSBatch"
+                        and row.get("engine") == "incremental"
+                        for row in runs)
     obs_overhead = report.get("obs_overhead")
-    if not isinstance(obs_overhead, dict):
-        raise ValueError("obs_overhead object required (schema v2)")
-    for key in ("plain_wall_clock_s", "obs_wall_clock_s",
-                "wall_clock_ratio"):
-        value = obs_overhead.get(key)
-        if not isinstance(value, (int, float)) or value < 0:
-            raise ValueError(f"obs_overhead.{key} must be a non-negative "
-                             "number")
-    if not any(row.get("scheduler") == OBS_RUN_LABEL for row in runs):
-        raise ValueError(f"runs must include the {OBS_RUN_LABEL!r} cell")
+    if has_faasbatch:
+        if not isinstance(obs_overhead, dict):
+            raise ValueError("obs_overhead object required (schema v2)")
+        for key in ("plain_wall_clock_s", "obs_wall_clock_s",
+                    "wall_clock_ratio"):
+            value = obs_overhead.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"obs_overhead.{key} must be a "
+                                 "non-negative number")
+        if not any(row.get("scheduler") == OBS_RUN_LABEL for row in runs):
+            raise ValueError(f"runs must include the {OBS_RUN_LABEL!r} "
+                             "cell")
+    elif obs_overhead is not None:
+        raise ValueError("obs_overhead must be null when FaaSBatch was "
+                         "not measured")
     speedup = report.get("speedup")
     if "legacy" in engines:
         if not isinstance(speedup, dict):
@@ -903,6 +1086,7 @@ __all__ = [
     "BASELINE_V1",
     "BENCH_SCHEMA",
     "OBS_RUN_LABEL",
+    "WINDOW_CELL_POLICIES",
     "BenchConfig",
     "bench_trace",
     "cluster_cell_configs",
@@ -911,7 +1095,9 @@ __all__ = [
     "load_report",
     "run_bench",
     "run_cluster_cell",
+    "run_window_cells",
     "validate_report",
+    "window_report",
     "write_report",
 ]
 

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -66,12 +67,14 @@ from repro.analysis.breakdown import (
     check_trace_invariants,
 )
 from repro.baselines import (
-    KrakenConfig,
+    DEFAULT_SCHEDULERS,
     KrakenParameters,
-    KrakenScheduler,
-    SfsScheduler,
-    VanillaScheduler,
+    SchedulerBuild,
+    build_scheduler,
+    parse_scheduler_names,
+    policy_info,
 )
+from repro.common.errors import ConfigurationError
 from repro.common.stats import SampleStats
 from repro.common.tables import render_table
 from repro.core import FaaSBatchConfig, FaaSBatchScheduler
@@ -126,24 +129,58 @@ def _obs(tracing: bool) -> Optional[Observability]:
     return Observability(tracing=True, sampling=True) if tracing else None
 
 
-def _run_all_schedulers(trace, specs, window_ms: float, label: str,
-                        tracing: bool = False,
-                        fault_plan: Optional[FaultPlan] = None,
-                        resilience: Optional[ResiliencePolicy] = None
-                        ) -> List[ExperimentResult]:
+def _selected_schedulers(args: argparse.Namespace) -> Tuple[str, ...]:
+    """Canonical registry keys for the run's ``--schedulers`` selection.
+
+    Raises :class:`ConfigurationError` (one line, listing the registered
+    policies) on an unknown name; commands catch it and exit 2.
+    """
+    text = getattr(args, "schedulers", None)
+    if text is None:
+        return DEFAULT_SCHEDULERS
+    return parse_scheduler_names(text)
+
+
+def _run_schedulers(names: Sequence[str], trace, specs, window_ms: float,
+                    label: str, tracing: bool = False,
+                    fault_plan: Optional[FaultPlan] = None,
+                    resilience: Optional[ResiliencePolicy] = None,
+                    window_policy: str = "fixed"
+                    ) -> List[ExperimentResult]:
+    """Run the selected registry policies, in order, over one workload.
+
+    Kraken's parameters are derived from the Vanilla run of the same
+    selection ("we take the 98-percentile latency of each function
+    obtained by the Vanilla strategy as the function SLO"); when Kraken is
+    selected without Vanilla, a hidden Vanilla profiling run supplies them
+    without appearing in the results.
+    """
     def run(scheduler):
         return run_experiment(scheduler, trace, specs, workload_label=label,
                               obs=_obs(tracing), fault_plan=fault_plan,
                               resilience=resilience)
 
-    vanilla = run(VanillaScheduler())
-    sfs = run(SfsScheduler())
-    params = KrakenParameters.from_invocations(
-        vanilla.successful_invocations())
-    kraken = run(KrakenScheduler(KrakenConfig(parameters=params,
-                                              window_ms=window_ms)))
-    ours = run(FaaSBatchScheduler(FaaSBatchConfig(window_ms=window_ms)))
-    return [vanilla, sfs, kraken, ours]
+    build = SchedulerBuild(window_ms=window_ms, window_policy=window_policy)
+    results: List[ExperimentResult] = []
+    profile: Optional[ExperimentResult] = None
+
+    def vanilla_profile() -> ExperimentResult:
+        nonlocal profile
+        if profile is None:
+            profile = next((r for r in results
+                            if r.scheduler_name == "Vanilla"), None)
+        if profile is None:
+            profile = run(build_scheduler("vanilla", build))
+        return profile
+
+    for name in names:
+        scheduler_build = build
+        if policy_info(name).needs_vanilla_profile:
+            params = KrakenParameters.from_invocations(
+                vanilla_profile().successful_invocations())
+            scheduler_build = replace(build, kraken_parameters=params)
+        results.append(run(build_scheduler(name, scheduler_build)))
+    return results
 
 
 LabeledRun = Tuple[str, InvocationTracer, Optional[TimeSeriesSampler]]
@@ -192,11 +229,18 @@ def _read_trace_records(path) -> Optional[List[Dict[str, object]]]:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        names = _selected_schedulers(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     trace, specs = _workload(args.workload, args.total, args.seed)
-    print(f"Running 4 schedulers over {len(trace)} {args.workload} "
-          f"invocations (window {args.window} ms)...")
-    results = _run_all_schedulers(trace, specs, args.window, args.workload,
-                                  tracing=args.trace is not None)
+    print(f"Running {len(names)} schedulers over {len(trace)} "
+          f"{args.workload} invocations (window {args.window} ms)...")
+    results = _run_schedulers(names, trace, specs, args.window,
+                              args.workload,
+                              tracing=args.trace is not None,
+                              window_policy=args.window_policy)
     if args.trace is not None:
         lines = _export_span_traces(args.trace, _labeled_runs(results))
         print(f"Wrote {lines} span/event/series records to {args.trace}")
@@ -208,10 +252,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 latency_cdf_tables(results).items():
             print(render_table(headers, table_rows,
                                title=f"{panel} latency CDF"))
-    comparison = SchedulerComparison(results)
-    print(render_table(comparison.REDUCTION_HEADERS,
-                       comparison.reduction_table(),
-                       title="Reductions achieved by FaaSBatch"))
+    # The reduction table is defined relative to FaaSBatch; it only makes
+    # sense when FaaSBatch is in the selection with something to beat.
+    if len(results) > 1 and any(r.scheduler_name == "FaaSBatch"
+                                for r in results):
+        comparison = SchedulerComparison(results)
+        print(render_table(comparison.REDUCTION_HEADERS,
+                           comparison.reduction_table(),
+                           title="Reductions achieved by FaaSBatch"))
     return 0
 
 
@@ -225,6 +273,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             return 2
     else:
         plan = reference_plan(seed=args.seed)
+    try:
+        names = _selected_schedulers(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     policy = ResiliencePolicy(max_attempts=args.max_attempts,
                               backoff_base_ms=args.backoff_ms,
                               seed=args.seed)
@@ -232,9 +285,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(f"Chaos run: {plan.fault_count()} planned faults (seed "
           f"{plan.seed}) over {len(trace)} {args.workload} invocations, "
           f"retries up to {policy.max_attempts} attempts...")
-    results = _run_all_schedulers(trace, specs, args.window, args.workload,
-                                  tracing=args.trace is not None,
-                                  fault_plan=plan, resilience=policy)
+    results = _run_schedulers(names, trace, specs, args.window,
+                              args.workload,
+                              tracing=args.trace is not None,
+                              fault_plan=plan, resilience=policy)
     if args.trace is not None:
         lines = _export_span_traces(args.trace, _labeled_runs(results))
         print(f"Wrote {lines} span/event/annotation records to {args.trace}")
@@ -376,11 +430,16 @@ def cmd_report(args: argparse.Namespace) -> int:
             return 2
         title = f"FaaSBatch scheduler comparison ({args.input})"
     else:
+        try:
+            names = _selected_schedulers(args)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         trace, specs = _workload(args.workload, args.total, args.seed)
-        print(f"Running 4 schedulers over {len(trace)} {args.workload} "
-              f"invocations (window {args.window} ms)...")
-        results = _run_all_schedulers(trace, specs, args.window,
-                                      args.workload, tracing=True)
+        print(f"Running {len(names)} schedulers over {len(trace)} "
+              f"{args.workload} invocations (window {args.window} ms)...")
+        results = _run_schedulers(names, trace, specs, args.window,
+                                  args.workload, tracing=True)
         records = _run_records(_labeled_runs(results))
         title = (f"FaaSBatch scheduler comparison — {args.workload} "
                  f"workload, {len(trace)} invocations, seed {args.seed}")
@@ -417,6 +476,31 @@ def _cmd_bench_cell(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_windows(args: argparse.Namespace, config) -> int:
+    """``repro bench --window-cells``: fixed-vs-adaptive FaaSBatch cells."""
+    from repro.bench import run_window_cells, window_report, write_report
+    rows = run_window_cells(config, log=print, isolate=not args.inline,
+                            parallel=args.parallel)
+    write_report(window_report(config, rows), args.out)
+    headers = ["window_policy", "inv", "goodput", "p50_ms", "p95_ms",
+               "p99_ms", "containers", "sim_completion_ms"]
+    table = [[r["cell"], r["invocations"], r["goodput"],
+              r["latency_ms"]["p50"], r["latency_ms"]["p95"],
+              r["latency_ms"]["p99"], r["containers"],
+              r["sim_completion_ms"]] for r in rows]
+    print(render_table(headers, table,
+                       title="FaaSBatch window sizing (fixed vs adaptive)"))
+    by_cell = {r["cell"]: r for r in rows}
+    if {"fixed", "adaptive"} <= by_cell.keys():
+        fixed_p99 = by_cell["fixed"]["latency_ms"]["p99"]
+        adaptive_p99 = by_cell["adaptive"]["latency_ms"]["p99"]
+        delta = (fixed_p99 - adaptive_p99) / fixed_p99 * 100.0
+        print(f"Adaptive p99 vs fixed: {adaptive_p99:g} ms vs "
+              f"{fixed_p99:g} ms ({delta:+.1f}% lower)")
+    print(f"Wrote {args.out}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import BenchConfig, run_bench, write_report
     if args.cell:
@@ -425,9 +509,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
                          functions=args.functions,
                          seed=args.seed, window_ms=args.window,
                          tile_invocations=args.tile_invocations)
-    report = run_bench(config, skip_legacy=args.skip_legacy, log=print,
-                       isolate=not args.inline, parallel=args.parallel,
-                       profile_top=args.profile_top if args.profile else 0)
+    if args.window_cells:
+        return _cmd_bench_windows(args, config)
+    try:
+        report = run_bench(config, skip_legacy=args.skip_legacy, log=print,
+                           isolate=not args.inline, parallel=args.parallel,
+                           profile_top=(args.profile_top if args.profile
+                                        else 0),
+                           schedulers=args.schedulers)
+    except (ConfigurationError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     write_report(report, args.out)
     headers = ["scheduler", "engine", "wall_s", "events/s", "inv/s",
                "peak_rss_MB"]
@@ -659,10 +751,16 @@ def cmd_replay_azure(args: argparse.Namespace) -> int:
     start, end = args.start_minute, args.end_minute
     trace = builder.build_trace(keys, start_minute=start, end_minute=end)
     specs = builder.build_specs(keys)
+    try:
+        names = _selected_schedulers(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(f"Replaying {len(trace)} invocations of {len(keys)} hottest "
           f"functions (minutes {start}-{end})...")
-    results = _run_all_schedulers(trace, specs, args.window, "azure-file",
-                                  tracing=args.trace is not None)
+    results = _run_schedulers(names, trace, specs, args.window,
+                              "azure-file",
+                              tracing=args.trace is not None)
     if args.trace is not None:
         lines = _export_span_traces(args.trace, _labeled_runs(results))
         print(f"Wrote {lines} span/event/series records to {args.trace}")
@@ -686,17 +784,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record span timelines and export them as "
                             "JSON Lines to PATH")
 
+    def add_schedulers(p):
+        p.add_argument("--schedulers", default=None, metavar="NAMES",
+                       help="comma-separated registry names to run "
+                            "(default: "
+                            f"{','.join(DEFAULT_SCHEDULERS)}; see "
+                            "docs/schedulers.md)")
+
     compare = sub.add_parser("compare",
-                             help="run all four schedulers on a workload")
+                             help="run the selected schedulers on a "
+                                  "workload (default: the paper's four)")
     compare.add_argument("--workload", choices=("cpu", "io"), default="cpu")
     compare.add_argument("--total", type=int, default=None,
                          help="invocation count (default: paper sizes)")
     compare.add_argument("--window", type=float, default=200.0,
                          help="dispatch window in ms")
+    compare.add_argument("--window-policy", choices=("fixed", "adaptive"),
+                         default="fixed",
+                         help="FaaSBatch window sizing (adaptive shrinks "
+                              "the window with the arrival rate)")
     compare.add_argument("--cdfs", action="store_true",
                          help="print the latency CDF panels too")
     add_common(compare)
     add_tracing(compare)
+    add_schedulers(compare)
     compare.set_defaults(func=cmd_compare)
 
     chaos = sub.add_parser(
@@ -716,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base retry backoff in simulated ms")
     add_common(chaos)
     add_tracing(chaos)
+    add_schedulers(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     sweep = sub.add_parser("sweep", help="sweep the dispatch interval")
@@ -773,6 +885,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--chrome", default=None, metavar="PATH",
                         help="also write a Perfetto/Chrome trace.json")
     add_common(report)
+    add_schedulers(report)
     report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser(
@@ -809,6 +922,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--profile-top", type=int, default=15,
                        metavar="N", help="hotspot rows per cell with "
                                          "--profile (default: 15)")
+    bench.add_argument("--window-cells", action="store_true",
+                       help="measure FaaSBatch fixed-vs-adaptive window "
+                            "sizing instead of the scheduler grid")
+    add_schedulers(bench)
     add_common(bench)
     bench.set_defaults(func=cmd_bench)
 
@@ -888,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--window", type=float, default=200.0)
     add_common(replay)
     add_tracing(replay)
+    add_schedulers(replay)
     replay.set_defaults(func=cmd_replay_azure)
     return parser
 

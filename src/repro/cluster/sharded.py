@@ -38,13 +38,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.baselines.sfs import SfsScheduler
-from repro.baselines.vanilla import VanillaScheduler
+from repro.baselines import (
+    SchedulerBuild,
+    build_scheduler,
+    registered_policies,
+)
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.streaming import DEFAULT_RESERVOIR_CAPACITY, StreamingResultSink
 from repro.common.units import HOUR
-from repro.core.config import FaaSBatchConfig
-from repro.core.scheduler import FaaSBatchScheduler
 from repro.cluster.balancer import stable_hash
 from repro.cluster.experiment import ClusterResult, WorkerSize
 from repro.model.calibration import DEFAULT_CALIBRATION
@@ -59,10 +60,13 @@ _RSS_TO_MB = (1024.0 * 1024.0) if sys.platform == "darwin" else 1024.0
 #: Completions between progress heartbeats on the child's stdout.
 PROGRESS_EVERY = 10_000
 
-#: Schedulers a shard can reconstruct from its JSON spec.  (Kraken is
-#: excluded: its parameters are learned from a prior Vanilla run and the
-#: shard protocol deliberately has no side channel for them.)
-SHARD_SCHEDULERS = ("Vanilla", "SFS", "FaaSBatch")
+#: Schedulers a shard can reconstruct from its JSON spec — every registry
+#: policy whose factory is self-contained.  (Kraken is excluded
+#: mechanically via ``needs_vanilla_profile``: its parameters are learned
+#: from a prior Vanilla run and the shard protocol deliberately has no
+#: side channel for them.)
+SHARD_SCHEDULERS = tuple(info.label for info in registered_policies()
+                         if not info.needs_vanilla_profile)
 
 
 def peak_rss_mb() -> float:
@@ -123,12 +127,8 @@ class ShardedClusterConfig:
         return list(range(shard_index, self.workers, self.shards))
 
     def scheduler_factory(self) -> Callable[[], object]:
-        if self.scheduler == "Vanilla":
-            return VanillaScheduler
-        if self.scheduler == "SFS":
-            return SfsScheduler
-        return lambda: FaaSBatchScheduler(FaaSBatchConfig(
-            window_ms=self.window_ms))
+        build = SchedulerBuild(window_ms=self.window_ms)
+        return lambda: build_scheduler(self.scheduler, build)
 
 
 @dataclass

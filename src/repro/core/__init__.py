@@ -3,9 +3,11 @@
 from repro.core.config import (
     DEFAULT_WINDOW_MS,
     SWEEP_WINDOWS_MS,
+    WINDOW_POLICIES,
     FaaSBatchConfig,
 )
 from repro.core.mapper import FunctionGroup, InvokeMapper
+from repro.core.windowing import AdaptiveWindow, FixedWindow, WindowPolicy
 from repro.core.multiplexer import (
     Lookup,
     LookupOutcome,
@@ -16,9 +18,11 @@ from repro.core.producer import InlineParallelProducer
 from repro.core.scheduler import FaaSBatchScheduler
 
 __all__ = [
+    "AdaptiveWindow",
     "DEFAULT_WINDOW_MS",
     "FaaSBatchConfig",
     "FaaSBatchScheduler",
+    "FixedWindow",
     "FunctionGroup",
     "InlineParallelProducer",
     "InvokeMapper",
@@ -27,4 +31,6 @@ __all__ = [
     "MultiplexerStats",
     "SWEEP_WINDOWS_MS",
     "SimResourceMultiplexer",
+    "WINDOW_POLICIES",
+    "WindowPolicy",
 ]

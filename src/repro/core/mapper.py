@@ -10,10 +10,11 @@ destined for a *single* container.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.windowing import FixedWindow, WindowPolicy
 from repro.model.function import FunctionSpec, Invocation
-from repro.platformsim.windows import collect_window_timed
+from repro.platformsim.windows import collect_window_policy
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Store
 
@@ -55,12 +56,20 @@ class FunctionGroup:
 
 
 class InvokeMapper:
-    """Batches a dispatch window of requests into function groups."""
+    """Batches a dispatch window of requests into function groups.
 
-    def __init__(self, window_ms: float) -> None:
+    Window length is delegated to a :class:`WindowPolicy`; by default a
+    :class:`FixedWindow` of ``window_ms`` reproduces the paper's constant
+    interval.  The mapper drains one multi-function queue, so the policy is
+    consulted with ``key=None`` (a single aggregate arrival estimator).
+    """
+
+    def __init__(self, window_ms: float,
+                 policy: Optional[WindowPolicy] = None) -> None:
         if window_ms < 0:
             raise ValueError(f"negative window: {window_ms}")
         self.window_ms = window_ms
+        self.policy = policy if policy is not None else FixedWindow(window_ms)
         self.windows_formed = 0
         self.groups_formed = 0
 
@@ -78,8 +87,8 @@ class InvokeMapper:
         ``on_open``/``on_close`` are forwarded to the window collector —
         pure observers of the window boundaries (telemetry only).
         """
-        batch, window_start = yield from collect_window_timed(
-            env, queue, self.window_ms, on_open=on_open, on_close=on_close)
+        batch, window_start = yield from collect_window_policy(
+            env, queue, self.policy, on_open=on_open, on_close=on_close)
         groups = self.group_invocations(batch, window_start_ms=window_start,
                                         window_end_ms=env.now)
         self.windows_formed += 1

@@ -1,0 +1,184 @@
+"""Window-sizing policies shared by the simulator and the live gateway.
+
+The paper's Invoke Mapper holds every batch window open for a fixed 0.2 s
+(`§IV-B`).  That constant used to be duplicated: once in the simulator's
+window collector (:mod:`repro.platformsim.windows`) and once, independently,
+on the gateway event loop (:mod:`repro.gateway.batching`).  This module is
+the single owner of the decision "how long should the window that just
+opened stay open?", so both execution surfaces consume the exact same
+policy object.
+
+Two policies ship:
+
+* :class:`FixedWindow` — the paper's constant window.  The simulator's
+  fixed path is routed through it and is bit-identical to the historical
+  implementation (pinned by ``tests/integration/test_engine_equivalence.py``
+  against the committed goldens).
+* :class:`AdaptiveWindow` — sizes each window from the observed arrival
+  rate and an SLO budget.  It keeps an EWMA of inter-arrival gaps per key
+  (the simulator uses one aggregate estimator, the gateway one per
+  function) and opens a window just long enough to collect
+  ``target_batch_size`` arrivals at the current rate, capped by the SLO
+  budget and clamped to ``[min_ms, max_ms]``.  Faster arrivals therefore
+  shrink the window — batches fill quickly so there is no reason to hold
+  requests — which is what cuts tail latency under bursts.
+
+The contract is deliberately tiny so policies stay portable across the
+simulated clock (milliseconds since sim start) and the wall clock
+(milliseconds from the asyncio loop): ``observe_arrival`` is a pure
+observer fed every arrival, and ``window_ms`` is read once per window at
+open time.  Policies must not schedule events or otherwise interact with
+either clock.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Ewma
+
+__all__ = [
+    "AdaptiveWindow",
+    "FixedWindow",
+    "WindowPolicy",
+]
+
+
+class WindowPolicy(abc.ABC):
+    """Decides how long a freshly opened batch window stays open.
+
+    ``key`` identifies the arrival stream: the simulator's Invoke Mapper
+    collects all functions from one queue and passes ``None`` (one
+    aggregate estimator), while the gateway keeps one batcher per function
+    and passes the function name.
+    """
+
+    @abc.abstractmethod
+    def window_ms(self, key: Optional[str] = None) -> float:
+        """Length, in milliseconds, of the window opening now for ``key``."""
+
+    def observe_arrival(self, key: Optional[str], now_ms: float) -> None:
+        """Record an arrival at ``now_ms`` for ``key``.
+
+        Called for every arrival (including ones that land inside an open
+        window).  Must be side-effect free with respect to the clock; the
+        default is a no-op so stateless policies pay nothing.
+        """
+
+
+class FixedWindow(WindowPolicy):
+    """The paper's constant dispatch window (0.2 s in §IV-B)."""
+
+    __slots__ = ("_window_ms",)
+
+    def __init__(self, window_ms: float) -> None:
+        if window_ms < 0:
+            raise ValueError(f"negative window: {window_ms}")
+        self._window_ms = float(window_ms)
+
+    def window_ms(self, key: Optional[str] = None) -> float:
+        return self._window_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FixedWindow({self._window_ms:g}ms)"
+
+
+class AdaptiveWindow(WindowPolicy):
+    """Arrival-rate/SLO driven window sizing.
+
+    The window opening now is sized to collect ``target_batch_size``
+    arrivals at the current estimated rate::
+
+        desired = target_batch_size * ewma(inter-arrival gap)
+        window  = clamp(min(desired, slo_budget_ms), min_ms, max_ms)
+
+    which is monotone non-increasing in the arrival rate and always inside
+    ``[min_ms, max_ms]`` (both properties are pinned by the hypothesis
+    tests in ``tests/core/test_windowing.py``).  A key with no gap
+    estimate yet gets the full ``max_ms`` — identical to the fixed policy
+    until evidence arrives.
+    """
+
+    __slots__ = (
+        "alpha",
+        "max_ms",
+        "min_ms",
+        "slo_budget_ms",
+        "target_batch_size",
+        "_gaps",
+        "_last_arrival_ms",
+    )
+
+    def __init__(
+        self,
+        *,
+        min_ms: float = 10.0,
+        max_ms: float = 200.0,
+        target_batch_size: int = 8,
+        slo_budget_ms: Optional[float] = None,
+        alpha: float = 0.2,
+    ) -> None:
+        if min_ms <= 0:
+            raise ConfigurationError(f"min_ms must be positive, got {min_ms}")
+        if max_ms < min_ms:
+            raise ConfigurationError(
+                f"max_ms ({max_ms}) must be >= min_ms ({min_ms})")
+        if target_batch_size < 1:
+            raise ConfigurationError(
+                f"target_batch_size must be >= 1, got {target_batch_size}")
+        if slo_budget_ms is None:
+            slo_budget_ms = max_ms
+        if slo_budget_ms <= 0:
+            raise ConfigurationError(
+                f"slo_budget_ms must be positive, got {slo_budget_ms}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {alpha}")
+        self.min_ms = float(min_ms)
+        self.max_ms = float(max_ms)
+        self.target_batch_size = int(target_batch_size)
+        self.slo_budget_ms = float(slo_budget_ms)
+        self.alpha = float(alpha)
+        self._gaps: Dict[Optional[str], Ewma] = {}
+        self._last_arrival_ms: Dict[Optional[str], float] = {}
+
+    def observe_arrival(self, key: Optional[str], now_ms: float) -> None:
+        last = self._last_arrival_ms.get(key)
+        self._last_arrival_ms[key] = now_ms
+        if last is None:
+            return
+        gap = now_ms - last
+        if gap < 0:
+            raise ValueError(
+                f"arrival clock went backwards for {key!r}: "
+                f"{last} -> {now_ms}")
+        estimator = self._gaps.get(key)
+        if estimator is None:
+            estimator = self._gaps[key] = Ewma(alpha=self.alpha)
+        estimator.observe(gap)
+
+    def window_for_gap(self, gap_ms: float) -> float:
+        """Pure sizing rule for a given estimated inter-arrival gap."""
+        desired = min(self.target_batch_size * gap_ms, self.slo_budget_ms)
+        return min(max(desired, self.min_ms), self.max_ms)
+
+    def estimated_gap_ms(self, key: Optional[str] = None) -> Optional[float]:
+        """Current EWMA inter-arrival gap for ``key``, or None if unseen."""
+        estimator = self._gaps.get(key)
+        if estimator is None or not estimator.initialized:
+            return None
+        return estimator.value
+
+    def window_ms(self, key: Optional[str] = None) -> float:
+        gap = self.estimated_gap_ms(key)
+        if gap is None:
+            return self.max_ms
+        return self.window_for_gap(gap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptiveWindow(min={self.min_ms:g}ms, max={self.max_ms:g}ms, "
+            f"target_batch={self.target_batch_size}, "
+            f"slo={self.slo_budget_ms:g}ms)")

@@ -18,6 +18,8 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.core.windowing import WindowPolicy
+
 
 @dataclass
 class PendingRequest:
@@ -46,6 +48,14 @@ class FunctionBatcher:
     window_seconds: float
     dispatch: DispatchFn
     loop: asyncio.AbstractEventLoop
+    #: Optional shared window-sizing policy (see
+    #: :mod:`repro.core.windowing`).  ``None`` keeps the historical
+    #: constant ``window_seconds``; with a policy, each arrival is
+    #: observed (keyed by function name) and the window opening now is
+    #: sized by ``policy.window_ms(function)``.  The same policy object is
+    #: shared across all of a gateway's batchers, mirroring how the
+    #: simulator shares one policy across windows.
+    policy: Optional[WindowPolicy] = None
     pending: List[PendingRequest] = field(default_factory=list)
     windows_flushed: int = 0
     _timer: Optional[asyncio.TimerHandle] = None
@@ -54,11 +64,20 @@ class FunctionBatcher:
     def depth(self) -> int:
         return len(self.pending)
 
+    def current_window_seconds(self) -> float:
+        """Length of the window that would open now (policy-aware)."""
+        if self.policy is None:
+            return self.window_seconds
+        return self.policy.window_ms(self.function) / 1000.0
+
     def enqueue(self, request: PendingRequest) -> None:
         """Park *request*; the first arrival opens the window timer."""
+        if self.policy is not None:
+            self.policy.observe_arrival(self.function,
+                                        self.loop.time() * 1000.0)
         self.pending.append(request)
         if self._timer is None:
-            self._timer = self.loop.call_later(self.window_seconds,
+            self._timer = self.loop.call_later(self.current_window_seconds(),
                                                self.flush)
 
     def evict_oldest(self) -> PendingRequest:

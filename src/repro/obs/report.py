@@ -335,6 +335,53 @@ def _render_gateway_section(records: Sequence[Mapping[str, object]]) -> str:
     return "\n".join(parts)
 
 
+#: The paper's §V comparison matrix; anything else in a record stream came
+#: from the scheduling-policy registry's extended baselines.
+CLASSIC_SCHEDULERS = ("Vanilla", "SFS", "Kraken", "FaaSBatch")
+
+
+def _is_classic(label: str) -> bool:
+    """True for the paper's four schedulers (suffixes like "[10ms]" ok)."""
+    return label.split("[", 1)[0] in CLASSIC_SCHEDULERS
+
+
+def _render_extended_section(summaries: Mapping[str, object]) -> str:
+    """Row group for registry baselines beyond the paper's four, or ``""``.
+
+    Returning the empty string keeps classic four-scheduler reports
+    byte-identical to the pre-registry renderer.
+    """
+    extended = {name: summary for name, summary in summaries.items()
+                if not _is_classic(name)}
+    if not extended:
+        return ""
+    vanilla = next((summary for name, summary in summaries.items()
+                    if name.split("[", 1)[0] == "Vanilla"), None)
+    rows = []
+    for scheduler in sorted(extended):
+        summary = extended[scheduler]
+        dominant = max(summary.dominant_counts,
+                       key=summary.dominant_counts.get)
+        delta = ("—" if vanilla is None or vanilla.p99_ms <= 0 else
+                 f"{(summary.p99_ms - vanilla.p99_ms) / vanilla.p99_ms:+.1%}")
+        rows.append(
+            f"<tr><td>{html.escape(scheduler)}</td>"
+            f"<td>{summary.count}</td>"
+            f"<td>{html.escape(dominant)}</td>"
+            f"<td>{summary.dominant_fraction(dominant):.1%}</td>"
+            f"<td>{summary.p99_ms:.2f}</td>"
+            f"<td>{delta}</td></tr>")
+    return (
+        "<h2>Extended baselines</h2>\n"
+        "<p>Registry policies beyond the paper's §V matrix (selected via "
+        "<code>--schedulers</code>); Δp99 compares against Vanilla in the "
+        "same run.</p>\n"
+        "<table><thead><tr><th>scheduler</th><th>invocations</th>"
+        "<th>dominant stage</th><th>share</th><th>p99 ms</th>"
+        "<th>Δp99 vs Vanilla</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>")
+
+
 def render_report(records: Iterable[Mapping[str, object]],
                   title: str = "FaaSBatch scheduler comparison") -> str:
     """Render the full self-contained HTML report from a record stream."""
@@ -376,6 +423,9 @@ def render_report(records: Iterable[Mapping[str, object]],
         "<th>dominant stage</th><th>share</th><th>p99 ms</th></tr></thead>"
         f"<tbody>{''.join(table_rows)}</tbody></table>"
         if table_rows else "<p>No span records in input.</p>")
+    extended = _render_extended_section(summaries)
+    if extended:
+        extended = f"\n{extended}"
     gateway = _render_gateway_section(records)
     if gateway:
         gateway = f"\n{gateway}"
@@ -389,7 +439,7 @@ def render_report(records: Iterable[Mapping[str, object]],
 <body>
 <h1>{html.escape(title)}</h1>
 <h2>Critical path</h2>
-{table}
+{table}{extended}
 {figures}{gateway}
 </body>
 </html>
@@ -407,6 +457,7 @@ def write_report(path, records: Iterable[Mapping[str, object]],
 
 
 __all__ = [
+    "CLASSIC_SCHEDULERS",
     "PALETTE",
     "line_chart",
     "render_report",

@@ -2,9 +2,14 @@
 
 Both FaaSBatch's Invoke Mapper and the ported Kraken gather "all invocation
 requests within this time interval" (§III-B) from the platform's request
-queue and treat them as concurrent.  :func:`collect_window` implements that
-once, with careful handling of the race between the window timer and a
-request arriving at the very same simulated instant.
+queue and treat them as concurrent.  :func:`collect_window_policy` implements
+that once, with careful handling of the race between the window timer and a
+request arriving at the very same simulated instant.  How long the window
+stays open is delegated to a :class:`~repro.core.windowing.WindowPolicy`;
+the fixed-width helpers below wrap the policy path with a
+:class:`~repro.core.windowing.FixedWindow`, so the historical constant-window
+behaviour runs through the exact same drain loop (bit-identical, pinned by
+the engine goldens).
 
 ``on_open`` / ``on_close`` are optional *pure observer* callbacks fired when
 the window opens (first item taken) and when its batch is returned; the
@@ -14,10 +19,13 @@ gauge.  They must not schedule events or touch the queue.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, List, Optional, TypeVar
 
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.windowing import WindowPolicy
 
 T = TypeVar("T")
 
@@ -49,10 +57,36 @@ def collect_window_timed(env: Environment, queue: Store[T],
     the true start of the dispatch window.  The wait for that first arrival
     (arbitrarily long on sparse workloads) is *not* part of the window.
     """
+    # Imported lazily: repro.core.__init__ pulls in the mapper, which pulls
+    # in this module — a module-level import here would close that cycle.
+    from repro.core.windowing import FixedWindow
+
     if window_ms < 0:
         raise ValueError(f"negative window: {window_ms}")
+    result = yield from collect_window_policy(
+        env, queue, FixedWindow(window_ms),
+        on_open=on_open, on_close=on_close)
+    return result
+
+
+def collect_window_policy(env: Environment, queue: Store[T],
+                          policy: WindowPolicy,
+                          key: Optional[str] = None,
+                          on_open: Optional[WindowObserver] = None,
+                          on_close: Optional[WindowObserver] = None):
+    """Drain one dispatch window whose length ``policy`` decides at open.
+
+    Every arrival (the opener and each drained item) is reported to
+    ``policy.observe_arrival(key, now)`` so adaptive policies can track the
+    arrival rate; the policy's ``window_ms(key)`` is read exactly once, when
+    the window opens.  Returns ``(batch, window_open_ms)``.
+    """
     first: T = yield queue.get()
     window_open = env.now
+    policy.observe_arrival(key, window_open)
+    window_ms = policy.window_ms(key)
+    if window_ms < 0:
+        raise ValueError(f"negative window: {window_ms}")
     if on_open is not None:
         on_open(window_open)
     batch: List[T] = [first]
@@ -62,12 +96,14 @@ def collect_window_timed(env: Environment, queue: Store[T],
         timer = env.timeout(window_end - env.now)
         winner, value = yield (get_event | timer)
         if winner is get_event:
+            policy.observe_arrival(key, env.now)
             batch.append(value)
             continue
         # The timer won.  The pending getter must be withdrawn so it does
         # not silently swallow a future request — unless an item raced in
         # at this exact instant, in which case we must keep it.
         if get_event.triggered:
+            policy.observe_arrival(key, env.now)
             batch.append(get_event.value)
         else:
             queue.cancel_get(get_event)

@@ -1,0 +1,141 @@
+"""WindowPolicy contract: FixedWindow identity + AdaptiveWindow bounds.
+
+The hypothesis properties pin the adaptive policy's safety envelope: the
+window it hands the dispatcher never leaves ``[min_ms, max_ms]`` no matter
+what arrival pattern it observes, and it is monotone in the arrival rate
+(faster arrivals never widen the window).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.windowing import AdaptiveWindow, FixedWindow, WindowPolicy
+
+
+class TestFixedWindow:
+    def test_constant_window(self):
+        policy = FixedWindow(200.0)
+        assert policy.window_ms() == 200.0
+        assert policy.window_ms("any-key") == 200.0
+
+    def test_observe_arrival_is_noop(self):
+        policy = FixedWindow(50.0)
+        for t in (0.0, 1.0, 500.0):
+            policy.observe_arrival("f", t)
+        assert policy.window_ms("f") == 50.0
+
+    def test_zero_window_allowed(self):
+        assert FixedWindow(0.0).window_ms() == 0.0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            FixedWindow(-1.0)
+
+    def test_is_a_window_policy(self):
+        assert isinstance(FixedWindow(1.0), WindowPolicy)
+
+
+class TestAdaptiveWindowValidation:
+    def test_defaults(self):
+        policy = AdaptiveWindow()
+        assert policy.min_ms == 10.0
+        assert policy.max_ms == 200.0
+        assert policy.slo_budget_ms == policy.max_ms
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_ms": 0.0},
+        {"min_ms": -1.0},
+        {"min_ms": 300.0, "max_ms": 200.0},
+        {"target_batch_size": 0},
+        {"slo_budget_ms": 0.0},
+        {"alpha": 0.0},
+        {"alpha": 1.5},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveWindow(**kwargs)
+
+    def test_clock_must_not_go_backwards(self):
+        policy = AdaptiveWindow()
+        policy.observe_arrival("f", 100.0)
+        with pytest.raises(ValueError):
+            policy.observe_arrival("f", 50.0)
+
+
+class TestAdaptiveWindowBehavior:
+    def test_unseen_key_gets_max_window(self):
+        policy = AdaptiveWindow(min_ms=5.0, max_ms=100.0)
+        assert policy.window_ms() == 100.0
+        assert policy.window_ms("never-seen") == 100.0
+
+    def test_keys_are_independent(self):
+        policy = AdaptiveWindow(min_ms=5.0, max_ms=100.0)
+        for index in range(20):
+            policy.observe_arrival("hot", index * 1.0)
+        assert policy.window_ms("hot") < policy.window_ms("cold")
+
+    def test_fast_arrivals_shrink_the_window(self):
+        policy = AdaptiveWindow(min_ms=5.0, max_ms=200.0,
+                                target_batch_size=4)
+        for index in range(50):
+            policy.observe_arrival("f", index * 1.0)  # 1 ms gaps
+        assert policy.window_ms("f") == pytest.approx(5.0)
+
+    def test_slow_arrivals_keep_the_cap(self):
+        policy = AdaptiveWindow(min_ms=5.0, max_ms=200.0)
+        for index in range(10):
+            policy.observe_arrival("f", index * 10_000.0)
+        assert policy.window_ms("f") == 200.0
+
+
+# -- hypothesis properties --------------------------------------------------------
+
+_GAPS = st.lists(st.floats(min_value=0.0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=1, max_size=50)
+_BOUNDS = st.tuples(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=100.0, max_value=10_000.0),
+)
+
+
+@given(gaps=_GAPS, bounds=_BOUNDS)
+def test_window_never_leaves_bounds(gaps, bounds):
+    """Whatever it observes, the window stays inside [min_ms, max_ms]."""
+    min_ms, max_ms = bounds
+    policy = AdaptiveWindow(min_ms=min_ms, max_ms=max_ms)
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        policy.observe_arrival("f", now)
+        assert min_ms <= policy.window_ms("f") <= max_ms
+    assert min_ms <= policy.window_ms("unseen") <= max_ms
+
+
+@given(gap=st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                     allow_infinity=False),
+       shrink=st.floats(min_value=0.0, max_value=1.0))
+def test_window_monotone_in_arrival_rate(gap, shrink):
+    """A strictly smaller inter-arrival gap never widens the window."""
+    policy = AdaptiveWindow(min_ms=1.0, max_ms=500.0)
+    assert policy.window_for_gap(gap * shrink) <= policy.window_for_gap(gap)
+
+
+@given(gaps=_GAPS)
+def test_estimated_gap_tracks_observations(gaps):
+    """The EWMA gap estimate stays within the observed gap range."""
+    policy = AdaptiveWindow(min_ms=1.0, max_ms=500.0)
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        policy.observe_arrival("f", now)
+    if len(gaps) == 1:
+        assert policy.estimated_gap_ms("f") is None  # one arrival, no gap
+    else:
+        # The policy recovers each gap as a difference of absolute
+        # timestamps, so allow a few ulps of float slack at the edges.
+        observed = gaps[1:]
+        estimate = policy.estimated_gap_ms("f")
+        slack = 1e-6 * max(1.0, max(observed))
+        assert min(observed) - slack <= estimate <= max(observed) + slack

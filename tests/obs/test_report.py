@@ -183,3 +183,59 @@ class TestCharts:
 
     def test_stacked_bars_empty(self):
         assert "no data" in stacked_bar_chart({}, ("s1",), "ms")
+
+
+def _classic_records():
+    """Span records using only the paper's four scheduler labels."""
+    records = []
+    for scheduler in ("Vanilla", "SFS", "Kraken", "FaaSBatch"):
+        for index in range(3):
+            records.append({
+                "type": "span", "invocation_id": f"i{index}",
+                "stage": "executing", "start_ms": index * 10.0,
+                "end_ms": index * 10.0 + 50.0, "function_id": "f",
+                "scheduler": scheduler})
+    return records
+
+
+class TestExtendedBaselinesSection:
+    def test_absent_for_classic_schedulers(self):
+        document = render_report(_classic_records())
+        assert "Extended baselines" not in document
+
+    def test_absent_for_suffixed_classic_labels(self):
+        records = _classic_records()
+        for record in records:
+            record["scheduler"] = f"{record['scheduler']}[10ms]"
+        assert "Extended baselines" not in render_report(records)
+
+    def test_renders_row_group_for_registry_baselines(self):
+        records = _classic_records()
+        for index in range(3):
+            records.append({
+                "type": "span", "invocation_id": f"h{index}",
+                "stage": "executing", "start_ms": index * 10.0,
+                "end_ms": index * 10.0 + 25.0, "function_id": "f",
+                "scheduler": "Hiku"})
+        document = render_report(records)
+        assert "Extended baselines" in document
+        assert "Hiku" in document
+        # Hiku halves the latency, so the delta vs Vanilla is negative.
+        assert "-50.0%" in document
+
+    def test_delta_dash_without_vanilla(self):
+        records = [{
+            "type": "span", "invocation_id": "i0", "stage": "executing",
+            "start_ms": 0.0, "end_ms": 30.0, "function_id": "f",
+            "scheduler": "DataDriven"}]
+        document = render_report(records)
+        assert "Extended baselines" in document
+        assert "—" in document
+
+    def test_no_new_svg_charts(self):
+        records = _classic_records()
+        records.append({
+            "type": "span", "invocation_id": "x", "stage": "executing",
+            "start_ms": 0.0, "end_ms": 10.0, "function_id": "f",
+            "scheduler": "Hiku"})
+        assert render_report(records).count("<svg") == 4

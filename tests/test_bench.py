@@ -10,6 +10,7 @@ from repro.bench import (
     BASELINE_V1,
     BENCH_SCHEMA,
     OBS_RUN_LABEL,
+    WINDOW_CELL_POLICIES,
     BenchConfig,
     TILE_INVOCATIONS,
     _baseline_table,
@@ -20,9 +21,12 @@ from repro.bench import (
     load_report,
     run_bench,
     run_cluster_cell,
+    run_window_cells,
     validate_report,
+    window_report,
     write_report,
 )
+from repro.common.errors import ConfigurationError
 
 
 class TestBenchTrace:
@@ -421,3 +425,119 @@ class TestGatewayCells:
         report = gateway_report([self.row()])
         report["cluster_cells"] = [cluster_row]
         validate_report(report)  # both sections coexist
+
+
+class TestSchedulerSelection:
+    CONFIG = BenchConfig(invocations=40, functions=2)
+
+    def test_selection_runs_only_selected(self):
+        report = run_bench(self.CONFIG, skip_legacy=True, isolate=False,
+                           schedulers="hiku,datadriven")
+        validate_report(report)
+        assert report["schedulers"] == ["Hiku", "DataDriven"]
+        assert [r["scheduler"] for r in report["runs"]] \
+            == ["Hiku", "DataDriven"]
+        assert report["obs_overhead"] is None
+
+    def test_rows_follow_registry_order_not_selection_order(self):
+        report = run_bench(self.CONFIG, skip_legacy=True, isolate=False,
+                           schedulers="datadriven,vanilla")
+        assert report["schedulers"] == ["Vanilla", "DataDriven"]
+
+    def test_faasbatch_selection_keeps_obs_cell(self):
+        report = run_bench(self.CONFIG, skip_legacy=True, isolate=False,
+                           schedulers="faasbatch")
+        validate_report(report)
+        assert [r["scheduler"] for r in report["runs"]] \
+            == ["FaaSBatch", OBS_RUN_LABEL]
+        assert report["obs_overhead"]["wall_clock_ratio"] > 0
+
+    def test_kraken_requires_vanilla(self):
+        with pytest.raises(ValueError, match="add vanilla"):
+            run_bench(self.CONFIG, skip_legacy=True, isolate=False,
+                      schedulers="kraken,sfs")
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            run_bench(self.CONFIG, skip_legacy=True, isolate=False,
+                      schedulers="warp-drive")
+
+    def test_legacy_engine_skipped_without_fair_share_trio(self):
+        report = run_bench(self.CONFIG, isolate=False, schedulers="hiku")
+        validate_report(report)
+        assert report["engines"] == ["incremental"]
+        assert report["speedup"] is None
+
+    def test_partial_legacy_speedup_table(self):
+        report = run_bench(self.CONFIG, isolate=False,
+                           schedulers="vanilla,hiku")
+        validate_report(report)
+        assert set(report["speedup"]["per_scheduler"]) == {"Vanilla"}
+        # Hiku only exists in the incremental engine.
+        assert ("Hiku", "legacy") not in {
+            (r["scheduler"], r["engine"]) for r in report["runs"]}
+
+    def test_default_selection_matches_classic_report(self):
+        report = run_bench(self.CONFIG, skip_legacy=True, isolate=False)
+        assert report["schedulers"] == ["Vanilla", "SFS", "Kraken",
+                                        "FaaSBatch"]
+
+    def test_validator_rejects_obs_block_without_faasbatch(self):
+        report = run_bench(self.CONFIG, skip_legacy=True, isolate=False,
+                           schedulers="vanilla")
+        report["obs_overhead"] = {"plain_wall_clock_s": 1.0,
+                                  "obs_wall_clock_s": 1.0,
+                                  "wall_clock_ratio": 1.0}
+        with pytest.raises(ValueError, match="obs_overhead must be null"):
+            validate_report(report)
+
+
+class TestWindowCells:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_window_cells(BenchConfig(invocations=60, functions=2),
+                                isolate=False)
+
+    def test_one_row_per_policy(self, rows):
+        assert [r["cell"] for r in rows] == list(WINDOW_CELL_POLICIES)
+        for row in rows:
+            assert row["scheduler"].startswith("FaaSBatch[")
+            assert row["window_policy"] == row["cell"]
+            assert row["latency_ms"]["count"] == row["invocations"]
+            assert row["containers"] > 0
+            assert 0 <= row["goodput"] <= 1
+
+    def test_window_report_round_trips(self, rows, tmp_path):
+        config = BenchConfig(invocations=60, functions=2)
+        report = window_report(config, rows)
+        validate_report(report)
+        path = tmp_path / "BENCH_windows.json"
+        write_report(report, str(path))
+        assert load_report(str(path)) == report
+
+    def test_adaptive_differs_from_fixed_under_load(self):
+        # Dense enough that the adaptive policy actually shrinks the
+        # window (at sparse load it sits at max_ms and ties with fixed).
+        rows = run_window_cells(BenchConfig(invocations=400, functions=4),
+                                isolate=False)
+        by_cell = {r["cell"]: r for r in rows}
+        assert by_cell["adaptive"]["latency_ms"] \
+            != by_cell["fixed"]["latency_ms"]
+
+    def test_requires_at_least_one_row(self):
+        with pytest.raises(ValueError, match="at least one"):
+            window_report(BenchConfig(invocations=60, functions=2), [])
+
+    def test_validator_rejects_malformed_cells(self, rows):
+        config = BenchConfig(invocations=60, functions=2)
+        report = window_report(config, [dict(rows[0], cell="magic")])
+        with pytest.raises(ValueError, match="window cell"):
+            validate_report(report)
+        report = window_report(config, [dict(rows[0],
+                                             window_policy="adaptive")])
+        with pytest.raises(ValueError, match="must match"):
+            validate_report(report)
+        report = window_report(config, [{k: v for k, v in rows[0].items()
+                                         if k != "latency_ms"}])
+        with pytest.raises(ValueError, match="latency_ms"):
+            validate_report(report)

@@ -235,3 +235,52 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSchedulerSelection:
+    def test_compare_with_selection(self, capsys):
+        assert main(["compare", "--workload", "io", "--total", "60",
+                     "--schedulers", "vanilla,hiku,datadriven"]) == 0
+        out = capsys.readouterr().out
+        assert "Running 3 schedulers" in out
+        for name in ("Vanilla", "Hiku", "DataDriven"):
+            assert name in out
+        # No FaaSBatch in the selection: the reduction table is skipped.
+        assert "Reductions achieved by FaaSBatch" not in out
+
+    def test_compare_unknown_scheduler_exits_2(self, capsys):
+        assert main(["compare", "--workload", "io", "--total", "20",
+                     "--schedulers", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler 'bogus'" in err
+        assert "registered policies:" in err
+
+    def test_compare_adaptive_window_policy(self, capsys):
+        assert main(["compare", "--workload", "io", "--total", "60",
+                     "--schedulers", "faasbatch",
+                     "--window-policy", "adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "FaaSBatch" in out
+
+    def test_chaos_with_selection(self, capsys):
+        assert main(["chaos", "--workload", "io", "--total", "40",
+                     "--schedulers", "vanilla,hiku"]) == 0
+        out = capsys.readouterr().out
+        assert "Hiku" in out and "Vanilla" in out
+
+    def test_bench_window_cells(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_windows.json"
+        assert main(["bench", "--invocations", "120", "--functions", "2",
+                     "--window-cells", "--inline",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "window sizing" in out
+        assert "adaptive" in out
+        report = json.loads(out_path.read_text())
+        assert [row["cell"] for row in report["window_cells"]] \
+            == ["fixed", "adaptive"]
+
+    def test_bench_selection_error_exits_2(self, capsys):
+        assert main(["bench", "--invocations", "40", "--inline",
+                     "--skip-legacy", "--schedulers", "kraken"]) == 2
+        assert "add vanilla" in capsys.readouterr().err
