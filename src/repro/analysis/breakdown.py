@@ -19,7 +19,7 @@ integration tests pin to be span-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.common.stats import SampleStats
 from repro.obs.trace import (
@@ -54,9 +54,19 @@ class TraceInvariantError(ValueError):
         self.problems = list(problems)
 
 
-def check_trace_invariants(tracer: InvocationTracer) -> None:
-    """Raise :class:`TraceInvariantError` on any invalid timeline."""
-    problems = tracer.validate_all()
+def check_trace_invariants(tracer: InvocationTracer,
+                           tolerance_ms: Optional[float] = None) -> None:
+    """Raise :class:`TraceInvariantError` on any invalid timeline.
+
+    ``tolerance_ms`` defaults to the simulator's exact-replay tolerance;
+    pass :data:`repro.obs.trace.WALL_TIME_TOLERANCE_MS` for traces
+    stamped from a real clock (the live gateway) — see the unit contract
+    on :class:`repro.obs.trace.Span`.
+    """
+    if tolerance_ms is None:
+        problems = tracer.validate_all()
+    else:
+        problems = tracer.validate_all(tolerance_ms)
     if problems:
         raise TraceInvariantError(problems)
 

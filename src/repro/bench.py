@@ -87,7 +87,11 @@ from repro.workload.trace import Trace, TraceRecord
 #: subset, recorded in the top-level ``schedulers`` list; obs/speedup
 #: blocks become conditional on the selection) and added the
 #: ``window_cells`` section (FaaSBatch fixed-vs-adaptive window sizing).
-BENCH_SCHEMA = "faasbatch-bench/v5"
+#: v6 added shard-merged cluster telemetry (an ``obs`` block on cluster
+#: cells carrying the order-independent merge of every shard's counters,
+#: gauges and histogram buckets) and the optional per-cell ``slo`` block
+#: (:mod:`repro.obs.slo` evaluation results, attached by ``repro slo``).
+BENCH_SCHEMA = "faasbatch-bench/v6"
 
 #: Scheduler label of the observability-overhead run (tracing + sampling
 #: on).  Distinct from "FaaSBatch" so the (scheduler, engine) cells stay
@@ -737,6 +741,7 @@ def run_cluster_cell(cell: str,
         "latency_ms": sink.summary(),
         "load_imbalance": round(
             result.to_cluster_result().load_imbalance(), 3),
+        "obs": (result.obs.to_dict() if result.obs is not None else None),
     }
 
 
@@ -779,6 +784,44 @@ def gateway_report(cell_rows: List[Dict[str, object]]) -> Dict[str, object]:
     }
 
 
+def _validate_slo_block(owner: str, block: object) -> None:
+    """Shape-check one per-cell ``slo`` block (schema v6, optional)."""
+    if block is None:
+        return
+    if not isinstance(block, dict):
+        raise ValueError(f"{owner}: slo must be an object when present")
+    if not isinstance(block.get("ok"), bool):
+        raise ValueError(f"{owner}: slo.ok must be a bool")
+    checks = block.get("checks")
+    if not isinstance(checks, list):
+        raise ValueError(f"{owner}: slo.checks must be a list")
+    for check in checks:
+        if not isinstance(check, dict) \
+                or not isinstance(check.get("check"), str) \
+                or not isinstance(check.get("ok"), bool):
+            raise ValueError(f"{owner}: each slo check needs a string "
+                             "'check' and a bool 'ok'")
+
+
+def _validate_cluster_obs(owner: str, obs: object) -> None:
+    """Shape-check one cluster cell's merged telemetry (schema v6)."""
+    if obs is None:
+        return  # merged from pre-telemetry shard payloads
+    if not isinstance(obs, dict):
+        raise ValueError(f"{owner}: obs must be an object or null")
+    for section in ("counters", "gauges", "clocks", "histograms"):
+        if not isinstance(obs.get(section), dict):
+            raise ValueError(f"{owner}: obs.{section} must be an object")
+    for name, hist in obs["histograms"].items():
+        if not isinstance(hist, dict) \
+                or not isinstance(hist.get("edges"), list) \
+                or not isinstance(hist.get("counts"), list) \
+                or len(hist["counts"]) != len(hist["edges"]) + 1:
+            raise ValueError(
+                f"{owner}: obs histogram {name!r} needs edges plus "
+                "len(edges)+1 counts (underflow and unbounded tail)")
+
+
 def _validate_cluster_cells(cells: object) -> None:
     if not isinstance(cells, list) or not cells:
         raise ValueError("cluster_cells must be a non-empty list when "
@@ -819,6 +862,9 @@ def _validate_cluster_cells(cells: object) -> None:
         for key in ("p50", "p95", "p99", "mean"):
             if not isinstance(latency.get(key), (int, float)):
                 raise ValueError(f"latency_ms.{key} must be a number")
+        owner = f"cluster cell {row.get('cell')!r}"
+        _validate_cluster_obs(owner, row.get("obs"))
+        _validate_slo_block(owner, row.get("slo"))
 
 
 def _validate_window_cells(cells: object) -> None:
@@ -852,6 +898,8 @@ def _validate_window_cells(cells: object) -> None:
         for key in ("p50", "p95", "p99", "mean"):
             if not isinstance(latency.get(key), (int, float)):
                 raise ValueError(f"latency_ms.{key} must be a number")
+        _validate_slo_block(f"window cell {row.get('cell')!r}",
+                            row.get("slo"))
 
 
 def _validate_gateway_cells(cells: object) -> None:
@@ -899,6 +947,8 @@ def _validate_gateway_cells(cells: object) -> None:
         for key in ("p50", "p95", "p99", "mean"):
             if not isinstance(latency.get(key), (int, float)):
                 raise ValueError(f"latency_ms.{key} must be a number")
+        _validate_slo_block(f"gateway cell {row.get('cell')!r}",
+                            row.get("slo"))
 
 
 def validate_report(report: Dict[str, object]) -> None:
@@ -970,6 +1020,8 @@ def validate_report(report: Dict[str, object]) -> None:
             raise ValueError("run.rss_isolated must be a bool (schema v3)")
         if "profile_top" in row and not isinstance(row["profile_top"], list):
             raise ValueError("run.profile_top must be a list when present")
+        _validate_slo_block(f"run {row.get('scheduler')!r}",
+                            row.get("slo"))
     engines = report.get("engines")
     if not isinstance(engines, list) or "incremental" not in engines:
         raise ValueError("engines must list at least 'incremental'")

@@ -473,6 +473,17 @@ def _cmd_bench_cell(args: argparse.Namespace) -> int:
               f"{shard['peak_rss_mb']} MB")
     exact = "exact" if latency.get("exact") else "histogram-approximated"
     print(f"Merged latency sample: {exact}; report written to {args.out}")
+    if row.get("obs") is not None:
+        print(f"Merged telemetry: {len(row['obs']['counters'])} counters, "
+              f"{len(row['obs']['histograms'])} histograms (order-"
+              "independent shard merge)")
+    if getattr(args, "report", None):
+        record = {"type": "cluster-obs", "cell": row["cell"],
+                  "shards": config["shards"], "obs": row.get("obs")}
+        byte_count = write_html_report(
+            args.report, [record],
+            title=f"FaaSBatch sharded cluster — {row['cell']} cell")
+        print(f"Wrote {byte_count} bytes to {args.report}")
     return 0
 
 
@@ -627,9 +638,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         demo_platform,
     )
     from repro.local import LocalPlatformConfig
-    from repro.obs import Observability
+    from repro.obs import Observability, RotatingJsonlWriter, TraceStreamer
 
     async def serve() -> int:
+        obs = Observability(tracing=args.trace is not None)
         platform = demo_platform(LocalPlatformConfig(
             policy="faasbatch" if args.policy != "vanilla" else "vanilla",
             window_seconds=(0.0 if args.policy == "vanilla"
@@ -637,11 +649,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             use_multiplexer=args.policy != "vanilla",
             container_concurrency=(1 if args.policy == "vanilla" else None),
             request_timeout_seconds=None),
-            obs=Observability())
+            obs=obs)
         gateway = Gateway(platform, GatewayConfig(
             policy="vanilla" if args.policy == "vanilla" else "faasbatch",
             window_seconds=(0.0 if args.policy == "vanilla"
                             else args.window_ms / 1000.0),
+            seed=args.seed,
             admission=AdmissionConfig(max_queue_depth=args.max_queue_depth,
                                       max_inflight=args.max_inflight,
                                       shed_policy=args.shed_policy),
@@ -649,6 +662,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 enabled=args.policy == "adaptive")))
         server = GatewayServer(gateway, host=args.host, port=args.port)
         await server.start()
+        streamer = None
+        pump = None
+        if args.trace is not None:
+            streamer = TraceStreamer(
+                obs.tracer,
+                RotatingJsonlWriter(args.trace),
+                extra={"scheduler": args.policy},
+                lock=platform.obs_lock)
+
+            async def pump_spans() -> None:
+                while True:
+                    await asyncio.sleep(1.0)
+                    streamer.poll()
+
+            pump = asyncio.get_event_loop().create_task(pump_spans())
+            print(f"Streaming spans to {args.trace} (rotated JSONL)")
         print(f"Serving {args.policy} gateway on "
               f"http://{server.host}:{server.port}")
         print(f"Functions: {', '.join(DEMO_FUNCTIONS)} "
@@ -658,9 +687,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except asyncio.CancelledError:
             pass
         finally:
+            if pump is not None:
+                pump.cancel()
             await server.stop()
             await asyncio.get_event_loop().run_in_executor(
                 None, platform.shutdown)
+            if streamer is not None:
+                written = streamer.close()
+                print(f"Trace stream closed ({written} final records)")
         return 0
 
     try:
@@ -682,7 +716,18 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    trace_writer = None
+    if args.trace is not None:
+        from repro.obs import RotatingJsonlWriter
+        trace_writer = RotatingJsonlWriter(args.trace)
+
     async def drive() -> list:
+        from repro.analysis.breakdown import check_trace_invariants
+        from repro.obs import (
+            Observability,
+            WALL_TIME_TOLERANCE_MS,
+            tracer_records,
+        )
         results = []
         for spec in specs:
             total = (sum(p.duration_seconds for p in spec.phases)
@@ -690,10 +735,24 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             print(f"Cell {spec.label}: {spec.load.rps:g} rps for "
                   f"{total:g}s over {spec.transport} "
                   f"(seed {spec.load.seed})...")
-            results.append(await run_cell(spec))
+            obs = (Observability(tracing=True)
+                   if trace_writer is not None else None)
+            results.append(await run_cell(spec, obs=obs))
+            if obs is not None:
+                # Gateway spans are wall-clock stamped — validate with the
+                # wall tolerance, not the simulator's (see Span docs).
+                check_trace_invariants(
+                    obs.tracer, tolerance_ms=WALL_TIME_TOLERANCE_MS)
+                for record in tracer_records(
+                        obs.tracer, extra={"scheduler": spec.label}):
+                    trace_writer.write(record)
         return results
 
     results = asyncio.run(drive())
+    if trace_writer is not None:
+        trace_writer.close()
+        print(f"Wrote {trace_writer.lines_written} trace records to "
+              f"{args.trace}")
     headers = ["cell", "requests", "goodput_rps", "goodput", "p50_ms",
                "p99_ms", "shed", "flips", "final_mode"]
     rows = []
@@ -724,6 +783,72 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             title=(f"FaaSBatch live gateway — {args.rps:g} rps x "
                    f"{args.duration:g}s, seed {args.seed}"))
         print(f"Wrote {byte_count} bytes to {args.report}")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """``repro slo``: evaluate SLO specs; ``--check`` gates on the result."""
+    import json
+
+    from repro.common.errors import ConfigurationError
+    from repro.obs.slo import (
+        default_specs,
+        evaluate_artifact,
+        evaluate_records,
+        load_specs,
+        slo_table,
+    )
+    from repro.obs.trace import read_jsonl
+
+    if not args.artifacts and not args.records:
+        print("error: need at least one artifact or --records file",
+              file=sys.stderr)
+        return 2
+    try:
+        specs = (load_specs(args.spec) if args.spec is not None
+                 else default_specs())
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = []
+    for path in args.artifacts:
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(report, dict):
+            print(f"error: {path} is not a report object", file=sys.stderr)
+            return 2
+        results.extend(evaluate_artifact(report, specs,
+                                         target_prefix=f"{path}:"))
+        if args.annotate:
+            from repro.obs.slo import annotate_report
+            annotate_report(report, specs)
+            with open(path, "w") as handle:
+                json.dump(report, handle, indent=1)
+                handle.write("\n")
+            print(f"Annotated {path} with per-cell slo blocks")
+    for path in args.records:
+        try:
+            records = read_jsonl(path)
+        except (OSError, ValueError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+        results.extend(evaluate_records(records, specs,
+                                        target_prefix=f"{path}:"))
+    headers, rows = slo_table(results)
+    print(render_table(headers, rows, title="SLO evaluation"))
+    failed = [r for r in results if not r.ok]
+    if not results:
+        print("No SLO specs matched the given inputs.")
+    elif failed:
+        print(f"{len(failed)} of {len(results)} SLO evaluations FAILED")
+    else:
+        print(f"All {len(results)} SLO evaluations passed.")
+    if args.check and (failed or not results):
+        return 1
     return 0
 
 
@@ -925,6 +1050,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--window-cells", action="store_true",
                        help="measure FaaSBatch fixed-vs-adaptive window "
                             "sizing instead of the scheduler grid")
+    bench.add_argument("--report", default=None, metavar="PATH",
+                       help="with --cell: also write an HTML report with "
+                            "the merged cluster telemetry panel")
     add_schedulers(bench)
     add_common(bench)
     bench.set_defaults(func=cmd_bench)
@@ -946,6 +1074,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="global in-flight request cap")
     serve.add_argument("--shed-policy", choices=("newest", "oldest"),
                        default="newest")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="request-id seed (ids are req-<seed hex>-<n>)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="stream live spans to a rotating JSONL trace "
+                            "file (readable by 'repro trace summarize')")
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser(
@@ -982,8 +1115,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the gateway record stream as JSONL")
     loadgen.add_argument("--report", default=None, metavar="PATH",
                          help="write the HTML report with gateway panels")
+    loadgen.add_argument("--trace", default=None, metavar="PATH",
+                         help="record per-cell spans to a rotating JSONL "
+                              "trace file (wall-clock timestamps)")
     add_common(loadgen)
     loadgen.set_defaults(func=cmd_loadgen)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO specs against bench artifacts and gateway "
+             "records")
+    slo.add_argument("artifacts", nargs="*", metavar="ARTIFACT",
+                     help="bench artifact JSON files (any schema vintage)")
+    slo.add_argument("--spec", default=None, metavar="PATH",
+                     help="SLO spec file ({'slos': [...]}; default: the "
+                          "built-in gate)")
+    slo.add_argument("--records", action="append", default=[],
+                     metavar="PATH",
+                     help="loadgen record JSONL for sliding-window burn "
+                          "checks (repeatable)")
+    slo.add_argument("--annotate", action="store_true",
+                     help="rewrite each artifact with per-cell slo blocks "
+                          "(schema v6)")
+    slo.add_argument("--check", action="store_true",
+                     help="exit nonzero if any check fails")
+    slo.set_defaults(func=cmd_slo)
 
     sample = sub.add_parser("sample-azure",
                             help="write sample Azure-format trace files")

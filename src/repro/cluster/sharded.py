@@ -44,11 +44,16 @@ from repro.baselines import (
     registered_policies,
 )
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.common.streaming import DEFAULT_RESERVOIR_CAPACITY, StreamingResultSink
+from repro.common.streaming import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    StreamingResultSink,
+    TelemetrySnapshot,
+)
 from repro.common.units import HOUR
 from repro.cluster.balancer import stable_hash
 from repro.cluster.experiment import ClusterResult, WorkerSize
 from repro.model.calibration import DEFAULT_CALIBRATION
+from repro.obs import Observability
 from repro.platformsim.platform import ServerlessPlatform
 from repro.sim.kernel import Environment
 from repro.sim.machine import Machine, build_cpu
@@ -146,19 +151,27 @@ class ShardResult:
     peak_rss_mb: float
     kernel_events: int
     sink: StreamingResultSink
+    #: Bounded telemetry delta (counters, gauges, histogram buckets)
+    #: shipped over the same JSONL protocol; ``None`` from pre-telemetry
+    #: shard payloads.
+    obs: Optional[TelemetrySnapshot] = None
 
     def to_payload(self) -> Dict[str, object]:
-        return {"shard_index": self.shard_index,
-                "worker_indices": self.worker_indices,
-                "per_worker_invocations": self.per_worker_invocations,
-                "per_worker_containers": self.per_worker_containers,
-                "per_worker_memory_mb": self.per_worker_memory_mb,
-                "submitted": self.submitted,
-                "completion_ms": self.completion_ms,
-                "wall_clock_s": self.wall_clock_s,
-                "peak_rss_mb": self.peak_rss_mb,
-                "kernel_events": self.kernel_events,
-                "sink": self.sink.to_dict()}
+        payload: Dict[str, object] = {
+            "shard_index": self.shard_index,
+            "worker_indices": self.worker_indices,
+            "per_worker_invocations": self.per_worker_invocations,
+            "per_worker_containers": self.per_worker_containers,
+            "per_worker_memory_mb": self.per_worker_memory_mb,
+            "submitted": self.submitted,
+            "completion_ms": self.completion_ms,
+            "wall_clock_s": self.wall_clock_s,
+            "peak_rss_mb": self.peak_rss_mb,
+            "kernel_events": self.kernel_events,
+            "sink": self.sink.to_dict()}
+        if self.obs is not None:
+            payload["obs"] = self.obs.to_dict()
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ShardResult":
@@ -174,7 +187,10 @@ class ShardResult:
             peak_rss_mb=float(payload["peak_rss_mb"]),  # type: ignore[arg-type]
             kernel_events=int(payload["kernel_events"]),  # type: ignore[arg-type]
             sink=StreamingResultSink.from_dict(
-                payload["sink"]))  # type: ignore[arg-type]
+                payload["sink"]),  # type: ignore[arg-type]
+            obs=(TelemetrySnapshot.from_dict(
+                payload["obs"])  # type: ignore[arg-type]
+                if payload.get("obs") is not None else None))
 
 
 @dataclass
@@ -185,6 +201,9 @@ class ShardedClusterResult:
     shard_results: List[ShardResult]
     sink: StreamingResultSink
     wall_clock_s: float
+    #: Order-independent merge of every shard's telemetry delta; ``None``
+    #: when any shard predates the telemetry protocol.
+    obs: Optional[TelemetrySnapshot] = None
 
     @property
     def completed(self) -> int:
@@ -256,6 +275,11 @@ def run_shard(config: ShardedClusterConfig, shard_index: int,
     sink = StreamingResultSink(reservoir_capacity=config.reservoir_capacity,
                                seed=config.seed + shard_index)
     env = Environment()
+    # One shared Observability per shard: every worker platform on this
+    # stripe publishes into the same registry (as a single-process run
+    # would), so shard-final counter/gauge values sum exactly across
+    # shards and the coordinator can reconstruct the one-process picture.
+    obs = Observability()
     platforms: Dict[int, ServerlessPlatform] = {}
     for global_index in owned:
         size = (machine_sizes[global_index % len(machine_sizes)]
@@ -267,7 +291,7 @@ def run_shard(config: ShardedClusterConfig, shard_index: int,
         machine = Machine(env, cores=size.cores, memory_gb=size.memory_gb,
                           cpu=cpu, retain_memory_series=False)
         platform = ServerlessPlatform(env, machine, calibration,
-                                      retain_completed=False)
+                                      obs=obs, retain_completed=False)
         for spec in specs:
             platform.register_function(spec)
         platform.result_sink = sink
@@ -334,7 +358,8 @@ def run_shard(config: ShardedClusterConfig, shard_index: int,
         wall_clock_s=round(time.perf_counter() - started, 3),
         peak_rss_mb=round(peak_rss_mb(), 1),
         kernel_events=env.events_processed,
-        sink=sink)
+        sink=sink,
+        obs=obs.telemetry())
 
 
 def merge_shard_results(config: ShardedClusterConfig,
@@ -356,8 +381,11 @@ def merge_shard_results(config: ShardedClusterConfig,
             f"shards submitted {total} invocations in total, trace has "
             f"{config.invocations} — worker stripes overlap or leak")
     sink = StreamingResultSink.merged([s.sink for s in ordered])
+    obs = (TelemetrySnapshot.merged([s.obs for s in ordered])
+           if all(s.obs is not None for s in ordered) else None)
     return ShardedClusterResult(config=config, shard_results=ordered,
-                                sink=sink, wall_clock_s=wall_clock_s)
+                                sink=sink, wall_clock_s=wall_clock_s,
+                                obs=obs)
 
 
 # -- subprocess plumbing ----------------------------------------------------------

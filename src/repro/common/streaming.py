@@ -494,6 +494,162 @@ class StreamingResultSink:
         }
 
 
+class TelemetrySnapshot:
+    """A mergeable, JSON-serialisable digest of one process's telemetry.
+
+    Shards in the sharded cluster ship one of these alongside their
+    :class:`StreamingResultSink` so the coordinator can reconstruct the
+    exact single-process observability picture.  Six maps, each with its
+    own merge rule chosen so that the merged snapshot is **identical for
+    any shard-arrival order**:
+
+    * ``counters`` — name → value; merged with :func:`math.fsum`
+      (exactly-rounded, hence permutation-invariant even for floats;
+      platform counters are integer-valued so they are also exact).
+    * ``gauges`` — name → value; merged with :func:`math.fsum`.  The sum
+      of per-shard instantaneous values is the natural cluster-wide
+      reading, but gauges are point-in-time (some, like ``pool.idle``,
+      are last-writer-wins even within one process), so *only this map*
+      carries no merged-equals-single-process guarantee.  The exactness
+      contract covers counters, clocks, histogram buckets and
+      log-histogram counts.
+    * ``clocks`` — name → value; merged with :func:`max`.  Clock gauges
+      (``sim.time_ms``) read a shard-local clock; the cluster-wide value
+      is the furthest-ahead shard, matching
+      ``ShardedClusterResult.completion_ms``.
+    * ``histograms`` — name → fixed-edge histogram dict (``edges``,
+      ``counts``, ``count``, ``sum``, ``min``, ``max``).  Counts are
+      integers summed elementwise; sums use :func:`math.fsum`; min/max
+      fold.  Edges must match exactly or the merge raises.
+    * ``log_histograms`` — name → :class:`LogBucketHistogram` dict; same
+      integer-count exactness as the sink's latency channels.
+    * ``series`` — name → coalesced time-series dict
+      (:meth:`repro.obs.timeseries.Series.to_dict`).  Series are
+      shard-local signals with no cross-shard identity, so merging
+      requires *disjoint* names and raises on collision (shards suffix
+      their names when sampling is on).
+    """
+
+    _FIELDS = ("counters", "gauges", "clocks", "histograms",
+               "log_histograms", "series")
+
+    def __init__(self,
+                 counters: Optional[Dict[str, float]] = None,
+                 gauges: Optional[Dict[str, float]] = None,
+                 clocks: Optional[Dict[str, float]] = None,
+                 histograms: Optional[Dict[str, dict]] = None,
+                 log_histograms: Optional[Dict[str, dict]] = None,
+                 series: Optional[Dict[str, dict]] = None) -> None:
+        self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
+        self.clocks = dict(clocks or {})
+        self.histograms = dict(histograms or {})
+        self.log_histograms = dict(log_histograms or {})
+        self.series = dict(series or {})
+
+    def to_dict(self) -> dict:
+        """JSON payload with deterministic key order."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "clocks": {k: self.clocks[k] for k in sorted(self.clocks)},
+            "histograms": {k: self.histograms[k]
+                           for k in sorted(self.histograms)},
+            "log_histograms": {k: self.log_histograms[k]
+                               for k in sorted(self.log_histograms)},
+            "series": {k: self.series[k] for k in sorted(self.series)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TelemetrySnapshot":
+        return cls(**{field: payload.get(field) for field in cls._FIELDS})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TelemetrySnapshot):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{field}={len(getattr(self, field))}"
+                          for field in self._FIELDS)
+        return f"TelemetrySnapshot({sizes})"
+
+    @staticmethod
+    def _merge_histograms(dicts: List[dict]) -> dict:
+        edges = dicts[0]["edges"]
+        for d in dicts[1:]:
+            if d["edges"] != edges:
+                raise ValueError(
+                    f"histogram edge mismatch: {d['edges']} != {edges}")
+        counts = [sum(d["counts"][i] for d in dicts)
+                  for i in range(len(dicts[0]["counts"]))]
+        minima = [d["min"] for d in dicts if d["min"] is not None]
+        maxima = [d["max"] for d in dicts if d["max"] is not None]
+        return {
+            "edges": list(edges),
+            "counts": counts,
+            "count": sum(d["count"] for d in dicts),
+            "sum": math.fsum(d["sum"] for d in dicts),
+            "min": min(minima) if minima else None,
+            "max": max(maxima) if maxima else None,
+        }
+
+    @staticmethod
+    def _merge_log_histograms(dicts: List[dict]) -> dict:
+        first = dicts[0]
+        for d in dicts[1:]:
+            for key in ("min", "growth", "buckets"):
+                if d[key] != first[key]:
+                    raise ValueError(
+                        f"log-histogram shape mismatch on {key!r}")
+        counts: Dict[str, int] = {}
+        for d in dicts:
+            for bucket, count in d["counts"].items():
+                counts[bucket] = counts.get(bucket, 0) + count
+        return {
+            "min": first["min"],
+            "growth": first["growth"],
+            "buckets": first["buckets"],
+            "underflow": sum(d["underflow"] for d in dicts),
+            "counts": {k: counts[k] for k in sorted(counts, key=int)},
+        }
+
+    @classmethod
+    def merged(cls, snapshots: Iterable["TelemetrySnapshot"]
+               ) -> "TelemetrySnapshot":
+        """Order-independent merge of any number of snapshots.
+
+        Implemented as one n-way fold (``fsum`` over all shards at once)
+        rather than pairwise merges, which is what makes float sums
+        exactly permutation-invariant.
+        """
+        snaps = list(snapshots)
+        result = cls()
+        for field, rule in (("counters", math.fsum),
+                            ("gauges", math.fsum),
+                            ("clocks", max)):
+            names = sorted({name for s in snaps
+                            for name in getattr(s, field)})
+            getattr(result, field).update(
+                (name, rule(getattr(s, field)[name] for s in snaps
+                            if name in getattr(s, field)))
+                for name in names)
+        for name in sorted({n for s in snaps for n in s.histograms}):
+            result.histograms[name] = cls._merge_histograms(
+                [s.histograms[name] for s in snaps if name in s.histograms])
+        for name in sorted({n for s in snaps for n in s.log_histograms}):
+            result.log_histograms[name] = cls._merge_log_histograms(
+                [s.log_histograms[name] for s in snaps
+                 if name in s.log_histograms])
+        for snap in snaps:
+            for name, series in snap.series.items():
+                if name in result.series:
+                    raise ValueError(
+                        f"series name collision on merge: {name!r}")
+                result.series[name] = series
+        return result
+
+
 __all__ = [
     "DEFAULT_RESERVOIR_CAPACITY",
     "BoundedReservoir",
@@ -501,4 +657,5 @@ __all__ = [
     "LogBucketHistogram",
     "OnlineStats",
     "StreamingResultSink",
+    "TelemetrySnapshot",
 ]

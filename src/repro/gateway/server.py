@@ -14,9 +14,17 @@ connections, bounded request sizes.
 Routes::
 
     POST /invoke/<function>   body = JSON payload (empty body -> null)
-    GET  /healthz             liveness + current dispatch mode
+    GET  /healthz             liveness, uptime + current dispatch mode
     GET  /stats               gateway counters, admission + flip history
-    GET  /metrics             platform metrics registry snapshot
+    GET  /metrics             platform metrics registry snapshot (JSON by
+                              default; Prometheus text exposition under
+                              ``Accept: text/plain`` or
+                              ``?format=prometheus``)
+
+Every response carries an ``X-Request-Id`` header; ids are derived from
+``GatewayConfig.seed`` plus an arrival counter, so a seeded run assigns
+the same id to the same request every time (the inproc harness relies on
+this for reproducible traces).
 
 Status mapping: 200 ok · 400 malformed · 404 unknown function ·
 408 request timeout (client read) · 413 body too large · 429 shed
@@ -31,6 +39,7 @@ import functools
 import itertools
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -57,6 +66,11 @@ from repro.gateway.degradation import (
     DegradationMonitor,
 )
 from repro.local import LocalPlatform
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_gateway_stats,
+    render_registry,
+)
 
 _GATEWAY_POLICIES = ("faasbatch", "vanilla")
 
@@ -79,6 +93,9 @@ class GatewayConfig:
     """Serving knobs layered over the platform's own config."""
 
     policy: str = "faasbatch"
+    #: Request-id seed: ids are ``req-<seed hex>-<arrival index>``, so a
+    #: seeded run hands out the same ids in the same order every time.
+    seed: int = 0
     #: The live dispatch window (seconds).  0 disables holding entirely.
     #: Under the adaptive policy this is the maximum window / SLO budget.
     window_seconds: float = 0.02
@@ -122,6 +139,13 @@ class GatewayResponse:
     mode: Optional[str] = None
     retry_after_seconds: Optional[float] = None
     latency_ms: float = 0.0
+    #: Assigned by the gateway to every arrival (404s and sheds included);
+    #: surfaced over HTTP as the ``X-Request-Id`` response header.
+    request_id: Optional[str] = None
+    #: When set, the HTTP layer sends this instead of the JSON body,
+    #: with ``content_type`` (used by the Prometheus exposition).
+    text: Optional[str] = None
+    content_type: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -143,7 +167,12 @@ class Gateway:
         self.responses_by_status: Dict[int, int] = {}
         self.batches_dispatched = 0
         self.batched_requests = 0
+        #: Wall-clock construction instant (epoch seconds) for /healthz
+        #: and /stats; uptime is measured on the loop's monotonic clock.
+        self.started_at = time.time()
+        self._started_loop = self.loop.time()
         self._request_ids = itertools.count()
+        self._id_prefix = f"req-{self.config.seed:x}"
         self._batchers: Dict[str, FunctionBatcher] = {}
         # One shared window policy for every function's batcher (keyed by
         # function name), mirroring the simulator's single policy object.
@@ -163,20 +192,31 @@ class Gateway:
 
     # -- request path ------------------------------------------------------------
 
+    def next_request_id(self) -> str:
+        """Mint the next deterministic request id (seeded arrival order)."""
+        return f"{self._id_prefix}-{next(self._request_ids)}"
+
+    @property
+    def uptime_s(self) -> float:
+        return self.loop.time() - self._started_loop
+
     async def invoke(self, function: str,
                      payload: Any = None) -> GatewayResponse:
         """Serve one request end to end; never raises."""
         start = self.loop.time()
         self.requests_total += 1
+        request_id = self.next_request_id()
         if not self.platform.has_function(function):
             return self._finish(start, GatewayResponse(
-                404, {"error": "unknown function", "function": function}))
+                404, {"error": "unknown function", "function": function},
+                request_id=request_id))
         mode = self._choose_mode()
         shed = self._admit(function, mode)
         if shed is not None:
+            shed.request_id = request_id
             return self._finish(start, shed)
         request = PendingRequest(
-            request_id=f"req-{next(self._request_ids)}",
+            request_id=request_id,
             function=function, payload=payload,
             future=self.loop.create_future(),
             enqueued_at=start, mode=mode)
@@ -222,6 +262,7 @@ class Gateway:
         finally:
             deadline.cancel()
             self.admission.release()
+        response.request_id = request_id
         if response.ok:
             self.monitor.record(mode, (self.loop.time() - start) * 1000.0)
         return self._finish(start, response)
@@ -341,6 +382,8 @@ class Gateway:
             "policy": self.config.policy,
             "window_seconds": self.config.window_seconds,
             "window_policy": self.config.window_policy,
+            "started_at": self.started_at,
+            "uptime_s": self.uptime_s,
             "requests_total": self.requests_total,
             "responses_by_status": {
                 str(code): count for code, count
@@ -406,7 +449,8 @@ class GatewayServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                response, extra = await self._route(method, path, body)
+                response, extra = await self._route(method, path, headers,
+                                                    body)
                 keep_alive = headers.get("connection", "") != "close"
                 await self._write_response(writer, response, extra,
                                            keep_alive)
@@ -450,8 +494,24 @@ class GatewayServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
-    async def _route(self, method: str, path: str, body: bytes):
+    def _render_metrics(self, prometheus: bool) -> GatewayResponse:
+        """The /metrics body: JSON snapshot or Prometheus exposition."""
+        obs = self.gateway.platform.obs
+        if prometheus:
+            page = render_registry(obs.metrics) if obs is not None else ""
+            page += render_gateway_stats(self.gateway.stats())
+            return GatewayResponse(200, {}, text=page,
+                                   content_type=PROMETHEUS_CONTENT_TYPE)
+        if obs is None:
+            # Explicit marker rather than a silent empty snapshot: an
+            # empty dict is indistinguishable from "no samples yet".
+            return GatewayResponse(200, {"obs": "disabled"})
+        return GatewayResponse(200, obs.metrics.snapshot())
+
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes):
         """Dispatch to a handler; returns (GatewayResponse, extra headers)."""
+        path, _, query = path.partition("?")
         if method == "POST" and path.startswith("/invoke/"):
             function = path[len("/invoke/"):]
             if body:
@@ -465,6 +525,8 @@ class GatewayServer:
                 payload = None
             response = await self.gateway.invoke(function, payload)
             extra = {}
+            if response.request_id is not None:
+                extra["X-Request-Id"] = response.request_id
             if response.mode is not None:
                 extra["X-Dispatch-Mode"] = response.mode
             if response.retry_after_seconds is not None:
@@ -472,35 +534,48 @@ class GatewayServer:
                     max(response.retry_after_seconds, 0.001), ".3f")
             return response, extra
         if method == "GET" and path == "/healthz":
-            return GatewayResponse(200, {
+            response = GatewayResponse(200, {
                 "status": "ok",
                 "platform_state": self.gateway.platform.state,
                 "mode": self.gateway.monitor.mode,
-                "inflight": self.gateway.admission.inflight}), {}
-        if method == "GET" and path == "/stats":
-            return GatewayResponse(200, self.gateway.stats()), {}
-        if method == "GET" and path == "/metrics":
-            obs = self.gateway.platform.obs
-            snapshot = obs.metrics.snapshot() if obs is not None else {}
-            return GatewayResponse(200, snapshot), {}
-        known = (path.startswith("/invoke/")
-                 or path in ("/healthz", "/stats", "/metrics"))
-        if known or method not in ("GET", "POST", "HEAD"):
-            return GatewayResponse(
-                405, {"error": "method not allowed", "method": method}), {}
-        return GatewayResponse(404, {"error": "no such route",
-                                     "path": path}), {}
+                "inflight": self.gateway.admission.inflight,
+                "started_at": self.gateway.started_at,
+                "uptime_s": self.gateway.uptime_s})
+        elif method == "GET" and path == "/stats":
+            response = GatewayResponse(200, self.gateway.stats())
+        elif method == "GET" and path == "/metrics":
+            prometheus = ("format=prometheus" in query.split("&")
+                          or "text/plain" in headers.get("accept", ""))
+            response = self._render_metrics(prometheus)
+        else:
+            known = (path.startswith("/invoke/")
+                     or path in ("/healthz", "/stats", "/metrics"))
+            if known or method not in ("GET", "POST", "HEAD"):
+                return GatewayResponse(
+                    405, {"error": "method not allowed",
+                          "method": method}), {}
+            return GatewayResponse(404, {"error": "no such route",
+                                         "path": path}), {}
+        # Ops endpoints get request ids from the same seeded stream, so
+        # "every response carries X-Request-Id" holds on every route.
+        response.request_id = self.gateway.next_request_id()
+        return response, {"X-Request-Id": response.request_id}
 
     async def _write_response(self, writer: asyncio.StreamWriter,
                               response: GatewayResponse,
                               extra: Dict[str, str],
                               keep_alive: bool) -> None:
-        payload = json.dumps(response.body,
-                             separators=(",", ":")).encode("utf-8")
+        if response.text is not None:
+            payload = response.text.encode("utf-8")
+            content_type = response.content_type or "text/plain"
+        else:
+            payload = json.dumps(response.body,
+                                 separators=(",", ":")).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(response.status, "Unknown")
         headers = [
             f"HTTP/1.1 {response.status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]

@@ -170,6 +170,16 @@ class LocalPlatform:
         with self._inflight_lock:
             return self._state
 
+    @property
+    def obs_lock(self) -> threading.Lock:
+        """The lock guarding ``self.obs`` publication.
+
+        Concurrent readers (e.g. a live trace streamer polling the
+        tracer while group workers publish timelines) must hold it to
+        see a consistent prefix.
+        """
+        return self._obs_lock
+
     def has_function(self, name: str) -> bool:
         return name in self._handlers
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.common.streaming import TelemetrySnapshot
 from repro.obs.metrics import (
     DEFAULT_LATENCY_EDGES_MS,
     DEFAULT_SIZE_EDGES,
@@ -33,6 +34,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    telemetry_snapshot,
 )
 from repro.obs.timeseries import (
     DEFAULT_INTERVAL_MS,
@@ -42,15 +44,23 @@ from repro.obs.timeseries import (
     series_records,
     write_series_jsonl,
 )
+from repro.obs.prom import (
+    render_gateway_stats,
+    render_registry,
+    render_snapshot,
+)
 from repro.obs.trace import (
     STAGE_ORDER,
     STAGE_TO_COMPONENT,
     TIME_TOLERANCE_MS,
+    WALL_TIME_TOLERANCE_MS,
     ContainerEvent,
     InvocationTimeline,
     InvocationTracer,
+    RotatingJsonlWriter,
     Span,
     Stage,
+    TraceStreamer,
     load_jsonl,
     read_jsonl,
     span_records,
@@ -106,6 +116,22 @@ class Observability:
             self.metrics.install(ClockGauge("sim.time_ms", env))
         self.sampler.install(env)
 
+    def telemetry(self) -> TelemetrySnapshot:
+        """The bundle's mergeable telemetry digest (metrics + series).
+
+        This is what a cluster shard ships to the coordinator: the full
+        registry state via :func:`repro.obs.metrics.telemetry_snapshot`
+        plus any sampled time-series.  Span traces are *not* included —
+        they are unbounded, which is exactly what the bounded-accounting
+        contract forbids.
+        """
+        snap = telemetry_snapshot(self.metrics)
+        for name in self.sampler.names():
+            record = self.sampler.series(name).to_dict()
+            if record["points"]:  # registered-but-unsampled probes are noise
+                snap.series[name] = record
+        return snap
+
 
 __all__ = [
     "ClockGauge",
@@ -120,15 +146,23 @@ __all__ = [
     "InvocationTracer",
     "MetricsRegistry",
     "Observability",
+    "RotatingJsonlWriter",
     "STAGE_ORDER",
     "STAGE_TO_COMPONENT",
     "Series",
     "Span",
     "Stage",
     "TIME_TOLERANCE_MS",
+    "TelemetrySnapshot",
     "TimeSeriesSampler",
+    "TraceStreamer",
+    "WALL_TIME_TOLERANCE_MS",
+    "telemetry_snapshot",
     "load_jsonl",
     "read_jsonl",
+    "render_gateway_stats",
+    "render_registry",
+    "render_snapshot",
     "series_from_records",
     "series_records",
     "span_records",

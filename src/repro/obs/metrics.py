@@ -21,6 +21,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.common.streaming import TelemetrySnapshot
+
 #: Default histogram edges: a 1-2-5 decade ladder from 1 ms to 5 minutes.
 #: Chosen once and fixed so breakdown histograms are comparable across runs.
 DEFAULT_LATENCY_EDGES_MS: Tuple[float, ...] = (
@@ -316,3 +318,34 @@ class MetricsRegistry:
     def merge_rows(self) -> List[List[object]]:
         """``[name, kind, value]`` rows for :func:`repro.common.tables`."""
         return [[r.name, r.kind, round(r.value, 4)] for r in self.rows()]
+
+
+def telemetry_snapshot(registry: MetricsRegistry) -> TelemetrySnapshot:
+    """Reduce a live registry to a mergeable :class:`TelemetrySnapshot`.
+
+    The three scalar kinds land in separate maps because they merge
+    differently across shards: counters and plain gauges sum, while
+    :class:`ClockGauge` readings take the max (each shard's clock stops
+    at its own completion time).  Histogram state is copied
+    bucket-for-bucket — full fidelity, not the labelled ``bucket_rows()``
+    digest — so merged buckets stay integer-exact.
+    """
+    snap = TelemetrySnapshot()
+    for name in registry.names():
+        metric = registry._metrics[name]
+        if isinstance(metric, Histogram):
+            snap.histograms[name] = {
+                "edges": list(metric.edges),
+                "counts": list(metric.counts),
+                "count": metric.count,
+                "sum": metric.sum,
+                "min": metric.min,
+                "max": metric.max,
+            }
+        elif isinstance(metric, Counter):
+            snap.counters[name] = metric.value
+        elif isinstance(metric, ClockGauge):
+            snap.clocks[name] = metric.value
+        else:
+            snap.gauges[name] = metric.value
+    return snap

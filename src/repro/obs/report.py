@@ -335,6 +335,60 @@ def _render_gateway_section(records: Sequence[Mapping[str, object]]) -> str:
     return "\n".join(parts)
 
 
+def _render_cluster_section(records: Sequence[Mapping[str, object]]) -> str:
+    """The sharded-cluster telemetry panel, or ``""`` without records.
+
+    Consumes ``cluster-obs`` records (one per replay cell, carrying the
+    shard-merged :class:`~repro.common.streaming.TelemetrySnapshot`
+    payload).  Returning the empty string keeps simulation-only reports
+    byte-identical to the pre-cluster renderer.
+    """
+    cluster = [record for record in records
+               if record.get("type") == "cluster-obs"
+               and isinstance(record.get("obs"), dict)]
+    if not cluster:
+        return ""
+    parts = ["<h2>Cluster telemetry (shard-merged)</h2>"]
+    for record in sorted(cluster, key=lambda r: str(r.get("cell"))):
+        obs = record["obs"]
+        cell = html.escape(str(record.get("cell")))
+        shards = record.get("shards")
+        caption = (f"{cell} — merged over {shards} shards"
+                   if shards is not None else cell)
+        parts.append(f"<h3>{html.escape(caption)}</h3>")
+        scalar_rows = []
+        for section in ("counters", "gauges", "clocks"):
+            for name, value in sorted(obs.get(section, {}).items()):
+                scalar_rows.append(
+                    f"<tr><td>{html.escape(name)}</td>"
+                    f"<td>{html.escape(section[:-1])}</td>"
+                    f"<td>{float(value):g}</td></tr>")
+        if scalar_rows:
+            parts.append(
+                "<table><thead><tr><th>metric</th><th>kind</th>"
+                "<th>value</th></tr></thead>"
+                f"<tbody>{''.join(scalar_rows)}</tbody></table>")
+        hist_rows = []
+        for name, hist in sorted(obs.get("histograms", {}).items()):
+            count = int(hist.get("count", 0))
+            mean = (float(hist["sum"]) / count) if count else 0.0
+            hist_rows.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{count}</td>"
+                f"<td>{mean:.2f}</td>"
+                f"<td>{float(hist['min']):.2f}</td>"
+                f"<td>{float(hist['max']):.2f}</td></tr>"
+                if count else
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>0</td><td>-</td><td>-</td><td>-</td></tr>")
+        if hist_rows:
+            parts.append(
+                "<table><thead><tr><th>histogram</th><th>count</th>"
+                "<th>mean</th><th>min</th><th>max</th></tr></thead>"
+                f"<tbody>{''.join(hist_rows)}</tbody></table>")
+    return "\n".join(parts)
+
+
 #: The paper's §V comparison matrix; anything else in a record stream came
 #: from the scheduling-policy registry's extended baselines.
 CLASSIC_SCHEDULERS = ("Vanilla", "SFS", "Kraken", "FaaSBatch")
@@ -429,6 +483,9 @@ def render_report(records: Iterable[Mapping[str, object]],
     gateway = _render_gateway_section(records)
     if gateway:
         gateway = f"\n{gateway}"
+    cluster = _render_cluster_section(records)
+    if cluster:
+        gateway = f"{gateway}\n{cluster}"
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>

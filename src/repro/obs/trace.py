@@ -33,14 +33,25 @@ from __future__ import annotations
 
 import enum
 import json
+import os
+import threading
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
-#: Tolerance for the sum/contiguity invariants, in milliseconds.
+#: Tolerance for the sum/contiguity invariants, in milliseconds — sized
+#: for *simulated* timestamps, which replay exact event times.
 TIME_TOLERANCE_MS = 1e-6
+
+#: Tolerance for spans stamped from a real clock (the live gateway).
+#: Wall timestamps are float milliseconds since the platform epoch taken
+#: from a monotonic clock on multiple threads; the stage boundaries reuse
+#: the same floats so timelines are still contiguous, but sums of large
+#: magnitudes accumulate rounding far beyond the simulator's 1e-6 ms.
+#: One microsecond absorbs that while still catching real gaps.
+WALL_TIME_TOLERANCE_MS = 1e-3
 
 #: Shared immutable empty attrs — most spans/events carry none, so a
 #: per-instance dict would be pure allocation churn on the hot path.
@@ -81,7 +92,16 @@ STAGE_TO_COMPONENT: Dict[Stage, str] = {
 
 @dataclass(frozen=True, slots=True)
 class Span:
-    """One typed stage of one invocation, ``[start_ms, end_ms]``."""
+    """One typed stage of one invocation, ``[start_ms, end_ms]``.
+
+    Unit contract: ``start_ms``/``end_ms`` are float milliseconds on the
+    *emitting platform's clock* — simulated time for the DES tiers
+    (:mod:`repro.platformsim`, :mod:`repro.cluster`), wall-clock time
+    since the platform epoch for the live gateway
+    (:mod:`repro.local`).  The two are indistinguishable on the wire;
+    consumers validating invariants must pick the matching tolerance
+    (:data:`TIME_TOLERANCE_MS` vs :data:`WALL_TIME_TOLERANCE_MS`).
+    """
 
     invocation_id: str
     stage: Stage
@@ -535,3 +555,129 @@ def annotation_records(records: Iterable[Mapping[str, object]]
                        ) -> List[Mapping[str, object]]:
     """Filter a JSONL record stream down to fault/recovery annotations."""
     return [r for r in records if r.get("type") == "annotation"]
+
+
+#: Default rotation threshold for live trace files (bytes).
+DEFAULT_TRACE_MAX_BYTES = 32 * 1024 * 1024
+
+#: Rotated generations kept next to the live file (`.1` newest).
+DEFAULT_TRACE_BACKUPS = 3
+
+
+class RotatingJsonlWriter:
+    """Size-rotated JSON Lines writer for live trace streaming.
+
+    Records append to *path*; when the file would exceed ``max_bytes``
+    it is rotated to ``path.1`` (existing generations shift up, the
+    oldest beyond ``backups`` is dropped) and a fresh file is opened.
+    Each generation is a self-contained JSONL file, so
+    :func:`load_jsonl` / ``repro trace summarize`` work on any of them.
+    Lines are flushed as written — a crash loses at most the partial
+    trailing line :func:`load_jsonl` already tolerates.
+    """
+
+    def __init__(self, path,
+                 max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
+                 backups: int = DEFAULT_TRACE_BACKUPS) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.lines_written = 0
+        self.rotations = 0
+        self._handle = open(self.path, "w")
+        self._size = 0
+
+    def write(self, record: Mapping[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        encoded = len(line.encode("utf-8"))
+        if self._size and self._size + encoded > self.max_bytes:
+            self._rotate()
+        self._handle.write(line)
+        self._handle.flush()
+        self._size += encoded
+        self.lines_written += 1
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        if self.backups == 0:
+            pass  # the live file is simply truncated on reopen
+        else:
+            for index in range(self.backups - 1, 0, -1):
+                source = f"{self.path}.{index}"
+                if os.path.exists(source):
+                    os.replace(source, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self._handle = open(self.path, "w")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RotatingJsonlWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class TraceStreamer:
+    """Incrementally drains a live tracer into a JSONL writer.
+
+    The tracer's completed-timeline list, container-event list and
+    annotation list are append-only, so each :meth:`poll` writes exactly
+    the records that appeared since the previous poll.  The gateway's
+    platform publishes timelines from worker threads under its obs lock;
+    pass that lock so polls snapshot a consistent prefix.
+    """
+
+    def __init__(self, tracer: InvocationTracer, writer: RotatingJsonlWriter,
+                 extra: Optional[Mapping[str, object]] = None,
+                 lock: Optional[threading.Lock] = None) -> None:
+        self.tracer = tracer
+        self.writer = writer
+        self._extra = dict(extra) if extra else {}
+        self._lock = lock if lock is not None else threading.Lock()
+        self._timelines_seen = 0
+        self._events_seen = 0
+        self._annotations_seen = 0
+
+    def poll(self) -> int:
+        """Stream everything newly completed; returns records written."""
+        with self._lock:
+            timelines = self.tracer.timelines()[self._timelines_seen:]
+            events = self.tracer.container_events[self._events_seen:]
+            annotations = self.tracer.annotations[self._annotations_seen:]
+            self._timelines_seen += len(timelines)
+            self._events_seen += len(events)
+            self._annotations_seen += len(annotations)
+        written = 0
+        for timeline in timelines:
+            for span in timeline.spans:
+                record = span.to_dict()
+                record["function_id"] = timeline.function_id
+                record.update(self._extra)
+                self.writer.write(record)
+                written += 1
+        for event in events:
+            record = event.to_dict()
+            record.update(self._extra)
+            self.writer.write(record)
+            written += 1
+        for annotation in annotations:
+            record = annotation.to_dict()
+            record.update(self._extra)
+            self.writer.write(record)
+            written += 1
+        return written
+
+    def close(self) -> int:
+        """Final drain, then close the underlying writer."""
+        written = self.poll()
+        self.writer.close()
+        return written

@@ -144,3 +144,76 @@ class TestMergeShardResults:
             == results[0].per_worker_invocations
         assert clone.sink.completed == results[0].sink.completed
         assert clone.sink.summary() == results[0].sink.summary()
+
+
+def comparable_histograms(snapshot):
+    """Histogram fields under the exactness contract.
+
+    The float ``sum`` is excluded: ``fsum`` over shard totals and the
+    single process's incremental adds can differ in the last ulp.
+    """
+    return {name: {key: hist[key]
+                   for key in ("edges", "counts", "count", "min", "max")}
+            for name, hist in snapshot.histograms.items()}
+
+
+class TestShardTelemetry:
+    """Merged shard telemetry == the single-process registry, exactly.
+
+    Gauges are deliberately absent: ``pool.idle`` is last-writer-wins
+    per pool instance, the one map without a merge guarantee.
+    """
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return dataclasses.replace(SMALL, invocations=1000,
+                                   tile_invocations=500)
+
+    @pytest.fixture(scope="class")
+    def merged(self, config):
+        return run_sharded_cluster(config, isolate=False).obs
+
+    @pytest.fixture(scope="class")
+    def single(self, config):
+        solo = dataclasses.replace(config, shards=1)
+        return run_sharded_cluster(solo, isolate=False).obs
+
+    def test_counters_byte_identical(self, merged, single):
+        assert merged is not None and single is not None
+        assert merged.counters  # the merge must carry real signal
+        assert merged.counters == single.counters
+
+    def test_clocks_identical(self, merged, single):
+        assert merged.clocks == single.clocks
+
+    def test_histogram_buckets_byte_identical(self, merged, single):
+        assert merged.histograms
+        assert comparable_histograms(merged) \
+            == comparable_histograms(single)
+
+    def test_merge_is_shard_order_independent(self, config):
+        results = [run_shard(config, index)
+                   for index in range(config.shards)]
+        # Round-trip through the subprocess wire format, both orders.
+        wire = [ShardResult.from_payload(r.to_payload()) for r in results]
+        forward = merge_shard_results(config, wire, wall_clock_s=0.0)
+        backward = merge_shard_results(config, list(reversed(wire)),
+                                       wall_clock_s=0.0)
+        assert forward.obs is not None
+        assert forward.obs.to_dict() == backward.obs.to_dict()
+
+    def test_payload_without_obs_stays_loadable(self, config):
+        result = run_shard(config, 0)
+        payload = result.to_payload()
+        payload.pop("obs")  # a pre-telemetry shard's payload
+        clone = ShardResult.from_payload(payload)
+        assert clone.obs is None
+        assert clone.sink.completed == result.sink.completed
+
+    def test_merge_with_missing_obs_yields_none(self, config):
+        results = [run_shard(config, index)
+                   for index in range(config.shards)]
+        legacy = dataclasses.replace(results[1], obs=None)
+        merged = merge_shard_results(config, [results[0], legacy],
+                                     wall_clock_s=0.0)
+        assert merged.obs is None

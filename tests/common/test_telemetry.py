@@ -1,0 +1,138 @@
+"""TelemetrySnapshot: the shard-merged observability delta."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.streaming import TelemetrySnapshot
+from repro.obs import ClockGauge, MetricsRegistry, telemetry_snapshot
+
+
+def make_snapshot(counter: float, gauge: float, clock: float,
+                  counts=(1, 2, 3)) -> TelemetrySnapshot:
+    return TelemetrySnapshot(
+        counters={"platform.completed": counter},
+        gauges={"pool.idle": gauge},
+        clocks={"sim.time_ms": clock},
+        histograms={"latency": {"edges": [10.0, 20.0],
+                                "counts": list(counts),
+                                "count": sum(counts), "sum": 42.0,
+                                "min": 1.0, "max": 25.0}},
+        log_histograms={"e2e": {"min": 0.01, "growth": 1.05, "buckets": 426,
+                                "underflow": 0,
+                                "counts": {"3": 2, "7": 1}}},
+        series={})
+
+
+class TestMergeRules:
+    def test_counters_and_gauges_sum_clocks_max(self):
+        merged = TelemetrySnapshot.merged(
+            [make_snapshot(10, 3, 100.0), make_snapshot(5, 4, 250.0)])
+        assert merged.counters == {"platform.completed": 15}
+        assert merged.gauges == {"pool.idle": 7}
+        assert merged.clocks == {"sim.time_ms": 250.0}
+
+    def test_histogram_buckets_add_elementwise(self):
+        merged = TelemetrySnapshot.merged(
+            [make_snapshot(1, 0, 0, counts=(1, 2, 3)),
+             make_snapshot(1, 0, 0, counts=(4, 0, 6))])
+        hist = merged.histograms["latency"]
+        assert hist["counts"] == [5, 2, 9]
+        assert hist["count"] == 16
+        assert hist["min"] == 1.0 and hist["max"] == 25.0
+        assert merged.log_histograms["e2e"]["counts"] == {"3": 4, "7": 2}
+
+    def test_edge_mismatch_raises(self):
+        other = make_snapshot(1, 0, 0)
+        other.histograms["latency"]["edges"] = [10.0, 30.0]
+        with pytest.raises(ValueError, match="edge mismatch"):
+            TelemetrySnapshot.merged([make_snapshot(1, 0, 0), other])
+
+    def test_log_histogram_shape_mismatch_raises(self):
+        other = make_snapshot(1, 0, 0)
+        other.log_histograms["e2e"]["growth"] = 1.1
+        with pytest.raises(ValueError, match="shape mismatch"):
+            TelemetrySnapshot.merged([make_snapshot(1, 0, 0), other])
+
+    def test_series_merge_is_disjoint_union(self):
+        a = make_snapshot(1, 0, 0)
+        b = make_snapshot(1, 0, 0)
+        a.series["cpu.util"] = {"points": [[0, 1]]}
+        b.series["cpu.util.shard1"] = {"points": [[0, 2]]}
+        merged = TelemetrySnapshot.merged([a, b])
+        assert set(merged.series) == {"cpu.util", "cpu.util.shard1"}
+        b.series["cpu.util"] = {"points": [[0, 9]]}
+        with pytest.raises(ValueError, match="collision"):
+            TelemetrySnapshot.merged([a, b])
+
+    def test_disjoint_metric_names_survive(self):
+        a = TelemetrySnapshot(counters={"only.a": 1})
+        b = TelemetrySnapshot(counters={"only.b": 2})
+        merged = TelemetrySnapshot.merged([a, b])
+        assert merged.counters == {"only.a": 1, "only.b": 2}
+
+    def test_round_trips_through_json(self):
+        snap = make_snapshot(10, 3, 100.0)
+        clone = TelemetrySnapshot.from_dict(
+            json.loads(json.dumps(snap.to_dict())))
+        assert clone == snap
+
+    def test_from_dict_tolerates_missing_sections(self):
+        clone = TelemetrySnapshot.from_dict({"counters": {"x": 1}})
+        assert clone.counters == {"x": 1}
+        assert clone.histograms == {}
+
+
+@st.composite
+def snapshots(draw):
+    counter = draw(st.integers(min_value=0, max_value=10**9))
+    gauge = draw(st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+    clock = draw(st.floats(min_value=0, max_value=1e9,
+                           allow_nan=False, allow_infinity=False))
+    counts = tuple(draw(st.lists(st.integers(min_value=0, max_value=10**6),
+                                 min_size=3, max_size=3)))
+    return make_snapshot(float(counter), gauge, clock, counts=counts)
+
+
+class TestPermutationIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(snapshots(), min_size=1, max_size=6),
+           st.randoms(use_true_random=False))
+    def test_merge_is_order_independent(self, snaps, rng):
+        """The coordinator contract: any shard-arrival order, same bytes.
+
+        ``fsum`` makes even the float sums exactly permutation-invariant,
+        so the whole serialised payload must match byte for byte.
+        """
+        reference = TelemetrySnapshot.merged(snaps)
+        shuffled = list(snaps)
+        rng.shuffle(shuffled)
+        permuted = TelemetrySnapshot.merged(shuffled)
+        assert json.dumps(permuted.to_dict(), sort_keys=True) \
+            == json.dumps(reference.to_dict(), sort_keys=True)
+
+
+class TestRegistryExtraction:
+    def test_kinds_split_into_separate_maps(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(7)
+
+        class FakeClock:
+            now = 123.5
+
+        registry.install(ClockGauge("sim.time_ms", FakeClock()))
+        registry.histogram("lat", edges=(1.0, 2.0)).observe(1.5)
+        snap = telemetry_snapshot(registry)
+        assert snap.counters == {"requests": 3}
+        assert snap.gauges == {"depth": 7}
+        assert snap.clocks == {"sim.time_ms": 123.5}
+        hist = snap.histograms["lat"]
+        assert hist["edges"] == [1.0, 2.0]
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["count"] == 1 and hist["sum"] == 1.5

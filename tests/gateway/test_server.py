@@ -275,6 +275,147 @@ class TestAdaptiveGateway:
         assert all(r.status == 200 for r in responses)
 
 
+async def raw_http_request(host, port, method, path, payload=None,
+                           headers=None):
+    """Like the class helper, but keeps extra headers and a raw body."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {host}",
+                 f"Content-Length: {len(body)}", "Connection: close"]
+        for key, value in (headers or {}).items():
+            lines.append(f"{key}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split(b" ")[1])
+        response_headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode().partition(":")
+            response_headers[key.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0") or "0")
+        raw = await reader.readexactly(length) if length else b""
+        return status, response_headers, raw
+    finally:
+        writer.close()
+
+
+class TestObservabilityEndpoints:
+    def run_with_server(self, scenario, obs=None, **gateway_kwargs):
+        async def main():
+            platform = demo_platform(
+                LocalPlatformConfig(policy="faasbatch",
+                                    window_seconds=0.005,
+                                    cold_start_seconds=0.0),
+                obs=obs)
+            gateway = make_gateway(platform, **gateway_kwargs)
+            server = GatewayServer(gateway, port=0)
+            await server.start()
+            try:
+                return await scenario(server)
+            finally:
+                await server.stop()
+                await asyncio.get_event_loop().run_in_executor(
+                    None, platform.shutdown)
+
+        return asyncio.run(main())
+
+    def test_request_ids_are_seeded_and_sequential(self):
+        async def scenario(server):
+            ids = []
+            for path in ("/healthz", "/stats"):
+                _, headers, _ = await raw_http_request(
+                    server.host, server.port, "GET", path)
+                ids.append(headers["x-request-id"])
+            _, headers, _ = await raw_http_request(
+                server.host, server.port, "POST", "/invoke/echo", {"n": 1})
+            ids.append(headers["x-request-id"])
+            return ids
+
+        ids = self.run_with_server(scenario, seed=42)
+        # One seeded arrival counter across every route: same run, same ids.
+        assert ids == ["req-2a-0", "req-2a-1", "req-2a-2"]
+        assert self.run_with_server(scenario, seed=42) == ids
+
+    def test_healthz_and_stats_report_uptime(self):
+        async def scenario(server):
+            out = []
+            for path in ("/healthz", "/stats"):
+                _, _, raw = await raw_http_request(
+                    server.host, server.port, "GET", path)
+                out.append(json.loads(raw))
+            return out
+
+        healthz, stats = self.run_with_server(scenario)
+        for body in (healthz, stats):
+            assert body["started_at"] > 0
+            assert body["uptime_s"] >= 0
+        assert healthz["status"] == "ok"
+
+    def test_metrics_json_marks_disabled_obs(self):
+        async def scenario(server):
+            _, headers, raw = await raw_http_request(
+                server.host, server.port, "GET", "/metrics")
+            return headers, json.loads(raw)
+
+        headers, body = self.run_with_server(scenario)  # obs=None stack
+        assert headers["content-type"] == "application/json"
+        assert body == {"obs": "disabled"}
+
+    def test_metrics_json_snapshot_when_obs_enabled(self):
+        from repro.obs import Observability
+
+        async def scenario(server):
+            await raw_http_request(server.host, server.port,
+                                   "POST", "/invoke/echo", {"n": 1})
+            _, _, raw = await raw_http_request(
+                server.host, server.port, "GET", "/metrics")
+            return json.loads(raw)
+
+        body = self.run_with_server(scenario, obs=Observability())
+        assert "obs" not in body
+        assert any(name.startswith("local.") or name.startswith("pool.")
+                   for name in body)
+
+    def test_metrics_prometheus_negotiation(self):
+        from repro.obs import Observability
+        from repro.obs.prom import PROMETHEUS_CONTENT_TYPE
+
+        async def scenario(server):
+            await raw_http_request(server.host, server.port,
+                                   "POST", "/invoke/echo", {"n": 1})
+            by_query = await raw_http_request(
+                server.host, server.port, "GET",
+                "/metrics?format=prometheus")
+            by_accept = await raw_http_request(
+                server.host, server.port, "GET", "/metrics",
+                headers={"Accept": "text/plain"})
+            return by_query, by_accept
+
+        by_query, by_accept = self.run_with_server(
+            scenario, obs=Observability())
+        for status, headers, raw in (by_query, by_accept):
+            page = raw.decode()
+            assert status == 200
+            assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+            assert "# TYPE" in page
+            assert "gateway_requests_total 1" in page
+
+    def test_prometheus_without_obs_still_serves_gateway_stats(self):
+        async def scenario(server):
+            _, headers, raw = await raw_http_request(
+                server.host, server.port, "GET",
+                "/metrics?format=prometheus")
+            return headers, raw.decode()
+
+        headers, page = self.run_with_server(scenario)
+        assert headers["content-type"].startswith("text/plain")
+        assert "gateway_requests_total" in page
+
+
 @pytest.mark.parametrize("kwargs", [
     {"policy": "nope"},
     {"window_seconds": -1.0},
