@@ -54,6 +54,7 @@ from repro.cluster.balancer import stable_hash
 from repro.cluster.experiment import ClusterResult, WorkerSize
 from repro.model.calibration import DEFAULT_CALIBRATION
 from repro.obs import Observability
+from repro.platformsim.gateway import ReplayInjector
 from repro.platformsim.platform import ServerlessPlatform
 from repro.sim.kernel import Environment
 from repro.sim.machine import Machine, build_cpu
@@ -319,20 +320,21 @@ def run_shard(config: ShardedClusterConfig, shard_index: int,
 
     owned_set = set(owned)
 
-    def replay():
+    def owned_records():
         for record in stream:
-            target = stable_hash(record.function_id) % config.workers
-            if target not in owned_set:
-                continue
-            delay = record.arrival_ms - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            submitted[0] += 1
-            platforms[target].submit(record)
+            if stable_hash(record.function_id) % config.workers in owned_set:
+                yield record
+
+    def submit_owned(record) -> None:
+        submitted[0] += 1
+        platforms[stable_hash(record.function_id) % config.workers].submit(
+            record)
+
+    def finished_submitting() -> None:
         done_submitting[0] = True
         maybe_finish()
 
-    env.process(replay(), name=f"shard-{shard_index}-gateway")
+    ReplayInjector(env, owned_records(), submit_owned, finished_submitting)
 
     def waiter():
         yield all_done

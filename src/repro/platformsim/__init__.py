@@ -2,7 +2,7 @@
 
 from repro.common.eventlog import EventKind, EventLog, LogRecord
 from repro.platformsim.experiment import run_comparison, run_experiment
-from repro.platformsim.gateway import start_replay
+from repro.platformsim.gateway import ReplayInjector, start_replay
 from repro.platformsim.platform import ServerlessPlatform
 from repro.platformsim.results import ExperimentResult
 from repro.platformsim.windows import collect_window
@@ -12,6 +12,7 @@ __all__ = [
     "EventLog",
     "ExperimentResult",
     "LogRecord",
+    "ReplayInjector",
     "ServerlessPlatform",
     "collect_window",
     "run_comparison",

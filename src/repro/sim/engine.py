@@ -65,7 +65,7 @@ class CpuGroup:
     __slots__ = ("name", "cap", "tasks", "_seq",
                  "_demand_cache", "_alloc_cache", "_sorted_cache",
                  "_shares_cache", "_shares_sum", "_uniform_share",
-                 "_ttf_cache", "_min_rate_cache", "_ttf_epoch")
+                 "_ttf_cache", "_min_rate_cache", "_ttf_epoch", "_ushare")
 
     def __init__(self, name: str, cap: Optional[float]) -> None:
         if cap is not None and cap <= 0:
@@ -90,6 +90,13 @@ class CpuGroup:
         self._ttf_cache: Optional[float] = None
         self._min_rate_cache: float = 0.0
         self._ttf_epoch = -1
+        #: The common ``max_share`` of every current member, or ``None``
+        #: once a differing share joins (poisoned until the group empties).
+        #: Maintained by the incremental fair-share engine's mutation sites;
+        #: lets reallocation skip the label sort outright, since uniform
+        #: shares make the waterfill output uniform and therefore
+        #: assignment-order independent.
+        self._ushare: Optional[float] = None
 
     @property
     def demand(self) -> float:

@@ -88,6 +88,13 @@ def _by_label(task: CpuTask) -> str:
     return task.label
 
 
+#: Sentinel stored in ``_sorted_cache`` by the uniform-share fast path: a
+#: non-None marker meaning "shares-sum cache valid, no sorted order needed".
+#: Groups only leave the uniform path through a mutation that re-Nones the
+#: cache, so the marker is never read as a real task list.
+_UNIFORM: List[CpuTask] = []
+
+
 class FairShareCpu(CpuEngineBase):
     """The two-level processor-sharing CPU of one worker machine.
 
@@ -121,11 +128,22 @@ class FairShareCpu(CpuEngineBase):
         #: groups) cost.
         self._active: List[CpuGroup] = []
         self._active_set: Set[CpuGroup] = set()
+        #: Creation ranks parallel to ``_active``; lets membership updates
+        #: and dirty-demand patching locate a group's slot by bisection
+        #: instead of an O(groups) identity scan.
+        self._active_seqs: List[int] = []
         #: Demand vector parallel to ``_active``, reused across recomputes;
         #: rebuilt only when the runnable-group membership changes, patched
         #: in place for dirty groups otherwise (no per-event list churn).
         self._demands: List[float] = []
         self._membership_changed = False
+        #: Copy of the last group-level allocation vector over an unchanged
+        #: ``_active``; when a recompute reproduces it exactly (C-level list
+        #: compare), every non-dirty group would hit its alloc-cache skip,
+        #: so only the dirty groups are visited.  ``None`` after any
+        #: membership change (slots shifted, the compare would be
+        #: meaningless).
+        self._prev_alloc: Optional[List[float]] = None
         #: True while a coalescing flush event is scheduled at `now`.
         self._flush_scheduled = False
         #: Invalidates in-flight flush events superseded by a full realloc.
@@ -207,9 +225,15 @@ class FairShareCpu(CpuEngineBase):
                        started_at=self.env.now,
                        label=label or f"task-{self._task_sequence}")
         task.seq = self._task_sequence
-        task.group.tasks[task] = None
+        group_obj = task.group
+        gtasks = group_obj.tasks
+        gtasks[task] = None
+        if len(gtasks) == 1:
+            group_obj._ushare = max_share
+        elif max_share != group_obj._ushare:
+            group_obj._ushare = None
         self._tasks[task] = None
-        self._invalidate_group(task.group)
+        self._invalidate_group(group_obj)
         if self._needs_scan or work <= TIME_EPSILON:
             # The scan may complete tasks (or this sub-epsilon one): run the
             # full reallocation eagerly, exactly like the legacy engine.
@@ -278,13 +302,42 @@ class FairShareCpu(CpuEngineBase):
         if group.tasks:
             if group not in self._active_set:
                 self._active_set.add(group)
-                bisect.insort(self._active, group,
-                              key=lambda g: g._seq)
+                seqs = self._active_seqs
+                pos = bisect.bisect_left(seqs, group._seq)
+                seqs.insert(pos, group._seq)
+                self._active.insert(pos, group)
+                # Open the matching demand slot in place (filled by the
+                # dirty patch — this group is always dirty here), so the
+                # recompute never rebuilds the whole vector.
+                self._demands.insert(pos, 0.0)
                 self._membership_changed = True
         elif group in self._active_set:
             self._active_set.discard(group)
-            self._active.remove(group)
+            seqs = self._active_seqs
+            pos = bisect.bisect_left(seqs, group._seq)
+            del seqs[pos]
+            del self._active[pos]
+            del self._demands[pos]
             self._membership_changed = True
+
+    @staticmethod
+    def _group_demand(group: CpuGroup) -> float:
+        """``group.demand`` with the O(tasks) sum elided for uniform shares.
+
+        A sequential sum of *n* equal floats is reproduced exactly by
+        ``sum([u] * n)`` (same left-to-right chain), and for the common
+        ``max_share == 1.0`` case every partial sum is an exact small
+        integer, so ``float(n)`` is the identical result.
+        """
+        u = group._ushare
+        if u is None:
+            return group.demand
+        n = len(group.tasks)
+        total = float(n) if u == 1.0 else sum([u] * n)
+        cap = group.cap
+        if cap is not None and cap < total:
+            total = cap
+        return total
 
     def _time_resolution(self) -> float:
         """Smallest representable clock advance at the current sim time.
@@ -428,22 +481,20 @@ class FairShareCpu(CpuEngineBase):
         groups = self._active  # non-empty groups, creation order
         if self._membership_changed:
             self._membership_changed = False
-            demands = [0.0] * len(groups)
-            for index, group in enumerate(groups):
-                demand = group._demand_cache
-                if demand is None:
-                    demand = group.demand
-                    group._demand_cache = demand
-                demands[index] = demand
-            self._demands = demands
-        else:
-            # Same groups in the same slots: patch only the dirty entries.
-            demands = self._demands
-            for index, group in enumerate(groups):
-                if group._demand_cache is None:
-                    demand = group.demand
-                    group._demand_cache = demand
-                    demands[index] = demand
+            self._prev_alloc = None
+        # The demand vector tracks membership structurally (slots opened and
+        # closed by _invalidate_group), so only dirty groups can hold a
+        # stale value: patch them in place, located by bisecting the
+        # parallel creation-rank list.  Each patch writes an independent
+        # slot — the set's iteration order cannot affect the result.
+        demands = self._demands
+        seqs = self._active_seqs
+        active_set = self._active_set
+        for group in dirty:
+            if group._demand_cache is None and group in active_set:
+                demand = self._group_demand(group)
+                group._demand_cache = demand
+                demands[bisect.bisect_left(seqs, group._seq)] = demand
         if demands:
             first_demand = demands[0]
             uniform = demands.count(first_demand) == len(demands)
@@ -469,7 +520,19 @@ class FairShareCpu(CpuEngineBase):
         else:
             group_alloc = waterfill(cores, demands)
         epoch = self._settle_epoch
-        for group, alloc in zip(groups, group_alloc):
+        prev_alloc = self._prev_alloc
+        if prev_alloc is not None and group_alloc == prev_alloc:
+            # Identical allocation vector over identical membership: every
+            # non-dirty group would skip below, so visit only the dirty
+            # ones (independent slots — the set's order cannot matter).
+            seqs = self._active_seqs
+            active_set = self._active_set
+            pairs = [(g, group_alloc[bisect.bisect_left(seqs, g._seq)])
+                     for g in dirty if g in active_set]
+        else:
+            self._prev_alloc = list(group_alloc)
+            pairs = zip(groups, group_alloc)
+        for group, alloc in pairs:
             if group not in dirty and alloc == group._alloc_cache:
                 continue  # same inputs ⇒ waterfill would return the same rates
             if len(group.tasks) == 1:
@@ -488,6 +551,52 @@ class FairShareCpu(CpuEngineBase):
                     ttf = task.remaining / rate
                     group._min_rate_cache = rate
                 else:
+                    ttf = math.inf
+                    group._min_rate_cache = math.inf
+                group._alloc_cache = alloc
+                group._ttf_cache = ttf
+                group._ttf_epoch = epoch
+                continue
+            u = group._ushare
+            if u is not None:
+                # Uniform shares: the task-level waterfill output is one
+                # common rate, so the label-sorted assignment order is
+                # immaterial and the sort is skipped outright.  The branch
+                # mirrors the cached-uniform branch below expression for
+                # expression; ``min(remaining)/rate`` equals the per-task
+                # ``min(remaining/rate)`` exactly because division by a
+                # positive float is monotone.
+                gtasks = group.tasks
+                if group._sorted_cache is None:
+                    n = len(gtasks)
+                    ssum = float(n) if u == 1.0 else sum([u] * n)
+                    group._shares_sum = ssum
+                    group._sorted_cache = _UNIFORM
+                    group._shares_cache = None
+                    group._uniform_share = u
+                else:
+                    ssum = group._shares_sum
+                if alloc <= 0:
+                    rate = 0.0
+                elif alloc > TIME_EPSILON and ssum <= alloc:
+                    rate = u
+                elif alloc <= TIME_EPSILON:
+                    rate = 0.0
+                else:
+                    share = alloc / len(gtasks)
+                    rate = u if u <= share else share
+                if rate > 0.0:
+                    lowest = math.inf
+                    for task in gtasks:
+                        task.rate = rate
+                        remaining = task.remaining
+                        if remaining < lowest:
+                            lowest = remaining
+                    ttf = lowest / rate
+                    group._min_rate_cache = rate
+                else:
+                    for task in gtasks:
+                        task.rate = 0.0
                     ttf = math.inf
                     group._min_rate_cache = math.inf
                 group._alloc_cache = alloc

@@ -9,33 +9,47 @@ interrupts, and composite all-of/any-of events.
 Determinism
 -----------
 Events scheduled for the same simulated time fire in FIFO order of
-scheduling (a monotone sequence number breaks ties), so a run is a pure
-function of its inputs.  All times are in milliseconds
-(:mod:`repro.common.units`).
+scheduling (urgent events before normal ones, creation order within each
+class), so a run is a pure function of its inputs.  All times are in
+milliseconds (:mod:`repro.common.units`).
 
 Hot-path design
 ---------------
 A 50k-invocation bench run pushes millions of events through this module,
-so the inner loop is written for mechanical sympathy while keeping the
-exact event ordering of the straightforward implementation:
+so the event queue is split by *when the event fires*, keeping the exact
+event ordering of the historical single-heap implementation:
 
-* every event class declares ``__slots__`` (no per-instance ``__dict__``);
-* heap entries are flat ``(when, key, event)`` triples where ``key``
-  pre-composes ``(priority << 62) | sequence`` into one integer at schedule
-  time, so heap sifting compares at most one float and one int instead of
-  re-comparing ``(time, priority, seq)`` tuples — the ordering is identical
-  because every sequence number is far below ``2**62``;
-* callback lists are allocated lazily: an event stores a shared empty
-  sentinel until the first waiter attaches, a bare callable for a single
-  waiter and a list only for several (the public :attr:`Event.callbacks`
-  property materializes a real list on demand and preserves the historical
-  ``callbacks is None == processed`` contract);
-* :meth:`Environment.run` and :meth:`Environment.run_process` inline the
-  pop/advance/dispatch sequence with bound locals rather than paying a
-  ``peek()`` + ``step()`` round-trip per event (``step()`` remains the
-  single-event reference implementation);
-* timeout-heavy services can recycle a processed :class:`Timeout` with
-  :meth:`Timeout.reset` instead of allocating a fresh event per slice.
+* **Current-instant events** — the overwhelming majority (process starts,
+  interrupts, ``succeed``/``fail`` triggers, zero-delay timeouts) — never
+  touch an ordered structure at all.  They go to two plain deques,
+  ``_urgent`` and ``_immediate``: appends and pops are O(1) with no key
+  composition and no sequence-number allocation, because deque order *is*
+  creation order.  This is the batch-arrival fast path: a dispatch window
+  of same-instant events costs one ``extend`` (:meth:`Environment.
+  schedule_batch` / :meth:`Environment.process_batch`).
+* **Future events** — only normal-priority timeouts can carry a timestamp
+  beyond ``now`` (urgent events are always scheduled at the current
+  instant) — live in a pluggable structure behind the ``EventQueue``
+  protocol (:mod:`repro.sim.calendar_queue`): a calendar queue by default
+  (O(1) amortized push/pop for the dense, near-uniform timestamp
+  distributions these workloads produce), with the classic binary heap
+  selectable for A/B benchmarking via ``Environment(queue="heap")`` or
+  ``REPRO_SIM_QUEUE=heap``.
+* Dispatch order at one instant is: the urgent deque, then future-queue
+  entries that have reached their time (they were created at earlier
+  instants, hence earlier in FIFO terms), then the immediate deque —
+  exactly the ``(when, priority, seq)`` total order of the old heap.
+* Timer cancellation stays lazy: a cancelled :class:`Timeout` becomes a
+  tombstone wherever it sits and is dropped unprocessed when surfaced;
+  once tombstones outnumber live entries past ``COMPACT_THRESHOLD`` they
+  are swept, bounding memory exactly as the old heap compaction did.
+* Every event class declares ``__slots__``; callback lists are allocated
+  lazily (a shared empty sentinel, then a bare callable for a single
+  waiter, a list only for several); :meth:`Environment.run` and
+  :meth:`Environment.run_process` inline the pop/advance/dispatch sequence
+  with bound locals (``step()`` remains the single-event reference
+  implementation); timeout-heavy services recycle processed
+  :class:`Timeout` objects with :meth:`Timeout.reset`.
 
 Example
 -------
@@ -51,32 +65,38 @@ Example
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+import os
+from collections import deque
+from typing import (
+    Any, Callable, Generator, Iterable, List, Optional, Sequence, Tuple,
+)
 
 from repro.common.errors import (
     EventAlreadyTriggered,
     ProcessInterrupted,
     SimulationError,
 )
+from repro.sim.calendar_queue import DEFAULT_QUEUE, make_queue
 
 #: Type of the generator a :class:`Process` drives.
 ProcessGenerator = Generator["Event", Any, Any]
 
 #: Scheduling priorities; URGENT fires before NORMAL at equal times.  Used by
-#: the kernel to ensure interrupts pre-empt normal resumptions.
+#: the kernel to ensure interrupts pre-empt normal resumptions.  (With the
+#: split queue these name the two current-instant deques rather than bits of
+#: a heap key, but the observable order is unchanged.)
 PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 
-#: Priority occupies the bits above the sequence counter in the composed heap
-#: key; 2**62 sequence numbers cannot be exhausted by any realistic run.
-_PRIORITY_SHIFT = 62
-_NORMAL_KEY_BASE = PRIORITY_NORMAL << _PRIORITY_SHIFT
+#: Environment variable consulted for the default future-event structure.
+QUEUE_ENV_VAR = "REPRO_SIM_QUEUE"
 
 #: Shared sentinel for "pending, no waiters attached yet" (``None`` still
 #: means processed).  Being falsy and immutable, one instance serves every
 #: event that never acquires a waiter.
 _NO_WAITERS: Tuple = ()
+
+_INF = float("inf")
 
 
 class Event:
@@ -89,8 +109,9 @@ class Event:
 
     __slots__ = ("env", "_callbacks", "_value", "_ok", "_defused")
 
-    #: Lazily-cancelled events stay in the heap but are discarded unprocessed
-    #: (no callbacks, no clock advancement).  Only Timeout supports it.
+    #: Lazily-cancelled events become tombstones and are discarded
+    #: unprocessed (no callbacks, no clock advancement).  Only Timeout
+    #: supports it.
     cancelled = False
 
     def __init__(self, env: "Environment") -> None:
@@ -167,10 +188,7 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        env = self.env
-        heapq.heappush(env._queue,
-                       (env._now, _NORMAL_KEY_BASE | env._sequence, self))
-        env._sequence += 1
+        self.env._immediate.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -184,10 +202,7 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        env = self.env
-        heapq.heappush(env._queue,
-                       (env._now, _NORMAL_KEY_BASE | env._sequence, self))
-        env._sequence += 1
+        self.env._immediate.append(self)
         return self
 
     def defuse(self) -> "Event":
@@ -235,20 +250,23 @@ class Timeout(Event):
         # The slot shadows the Event class attribute for Timeout instances,
         # so initialize it explicitly.
         self.cancelled = False
-        heapq.heappush(env._queue,
-                       (env._now + delay, _NORMAL_KEY_BASE | env._sequence,
-                        self))
-        env._sequence += 1
+        when = env._now + delay
+        if when > env._now:
+            env._future.push(when, env._sequence, self)
+            env._sequence += 1
+        else:
+            env._immediate.append(self)
 
     def cancel(self) -> None:
         """Abandon this timeout: the kernel discards it without processing.
 
-        Cancellation is *lazy* — the heap entry stays until the kernel would
-        pop it, at which point it is dropped without running callbacks or
-        advancing the clock (and without counting as a processed event).
-        Services that re-arm wake-up timers on every state change use this so
-        abandoned timers stop costing heap space and no-op wake-ups.
-        Cancelling an already-processed timeout is a no-op.
+        Cancellation is *lazy* — the queue entry stays as a tombstone until
+        the kernel would surface it, at which point it is dropped without
+        running callbacks or advancing the clock (and without counting as a
+        processed event).  Services that re-arm wake-up timers on every
+        state change use this so abandoned timers stop costing queue space
+        and no-op wake-ups.  Cancelling an already-processed timeout is a
+        no-op.
         """
         if self._callbacks is None or self.cancelled:
             return
@@ -284,9 +302,11 @@ class Timeout(Event):
         self._value = value
         self._defused = False
         self.delay = when - env._now
-        heapq.heappush(env._queue,
-                       (when, _NORMAL_KEY_BASE | env._sequence, self))
-        env._sequence += 1
+        if when > env._now:
+            env._future.push(when, env._sequence, self)
+            env._sequence += 1
+        else:
+            env._immediate.append(self)
         return self
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover - guard
@@ -302,10 +322,12 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
         self._callbacks = process._resume
+        self._value = None
         self._ok = True
-        env._enqueue(self, delay=0.0, priority=PRIORITY_URGENT)
+        self._defused = False
+        env._urgent.append(self)
 
 
 class Interruption(Event):
@@ -314,14 +336,16 @@ class Interruption(Event):
     __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
-        super().__init__(process.env)
         if process._ok is not None:
             raise SimulationError("cannot interrupt a terminated process")
+        env = process.env
+        self.env = env
         self.process = process
         self._callbacks = self._interrupt
-        self._ok = False
         self._value = ProcessInterrupted(cause)
-        self.env._enqueue(self, delay=0.0, priority=PRIORITY_URGENT)
+        self._ok = False
+        self._defused = False
+        env._urgent.append(self)
 
     def _interrupt(self, event: Event) -> None:
         if self.process._ok is not None:
@@ -383,20 +407,12 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                env = self.env
-                heapq.heappush(
-                    env._queue,
-                    (env._now, _NORMAL_KEY_BASE | env._sequence, self))
-                env._sequence += 1
+                self.env._immediate.append(self)
                 return
             except BaseException as exc:  # generator crashed
                 self._ok = False
                 self._value = exc
-                env = self.env
-                heapq.heappush(
-                    env._queue,
-                    (env._now, _NORMAL_KEY_BASE | env._sequence, self))
-                env._sequence += 1
+                self.env._immediate.append(self)
                 return
 
             if not isinstance(next_event, Event):
@@ -405,7 +421,7 @@ class Process(Event):
                     "which is not an Event")
                 self._ok = False
                 self._value = crash
-                self.env._enqueue(self, delay=0.0, priority=PRIORITY_NORMAL)
+                self.env._immediate.append(self)
                 return
 
             cbs = next_event._callbacks
@@ -496,18 +512,30 @@ class AnyOf(Event):
 
 
 class Environment:
-    """Holds simulated time and the event queue, and executes events."""
+    """Holds simulated time and the event queues, and executes events."""
 
-    #: Compact the heap once at least this many cancelled entries linger
+    #: Compact the queues once at least this many cancelled entries linger
     #: *and* they outnumber the live ones (amortised O(1) per cancellation).
     COMPACT_THRESHOLD = 64
 
-    __slots__ = ("_now", "_queue", "_sequence", "_cancelled",
-                 "events_processed", "active_process", "_time_hooks")
+    __slots__ = ("_now", "_urgent", "_immediate", "_future", "_sequence",
+                 "_cancelled", "events_processed", "active_process",
+                 "_time_hooks", "queue_name")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 queue: Optional[str] = None) -> None:
         self._now = initial_time
-        self._queue: List[Tuple[float, int, Event]] = []
+        #: Current-instant deques: urgent (process starts, interrupts,
+        #: deferred callbacks) fires before immediate (normal triggers).
+        self._urgent: deque = deque()
+        self._immediate: deque = deque()
+        if queue is None:
+            queue = os.environ.get(QUEUE_ENV_VAR) or DEFAULT_QUEUE
+        #: Future-event structure (calendar queue or heap); holds only
+        #: normal-priority entries with ``when > now`` at creation.
+        self._future = make_queue(queue)
+        #: Which future-event structure this environment runs on.
+        self.queue_name = queue
         self._sequence = 0
         self._cancelled = 0
         #: Count of events actually processed (cancelled ones excluded);
@@ -521,6 +549,15 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
+
+    @property
+    def _queue(self) -> List[Tuple[float, int, Event]]:
+        """Snapshot of pending *future* entries (live + tombstones).
+
+        Kept for introspection and the historical tests that bound queue
+        growth; current-instant deques are not included.
+        """
+        return self._future.entries()
 
     # -- time observation -------------------------------------------------------
 
@@ -574,9 +611,11 @@ class Environment:
         timeout._defused = False
         timeout.delay = when - self._now
         timeout.cancelled = False
-        heapq.heappush(self._queue,
-                       (when, _NORMAL_KEY_BASE | self._sequence, timeout))
-        self._sequence += 1
+        if when > self._now:
+            self._future.push(when, self._sequence, timeout)
+            self._sequence += 1
+        else:
+            self._immediate.append(timeout)
         return timeout
 
     def process(self, generator: ProcessGenerator,
@@ -590,14 +629,103 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
-    # -- scheduling -----------------------------------------------------------
+    # -- batch-arrival fast path -------------------------------------------------
 
-    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        heapq.heappush(
-            self._queue,
-            (self._now + delay,
-             (priority << _PRIORITY_SHIFT) | self._sequence, event))
-        self._sequence += 1
+    def schedule_batch(self, events: Sequence[Event],
+                       value: Any = None) -> Sequence[Event]:
+        """Trigger *events* successfully at the current instant in one append.
+
+        Equivalent to calling ``event.succeed(value)`` on each in order —
+        FIFO dispatch order is preserved — but the whole batch costs a
+        single deque ``extend`` instead of N scheduling calls.  Producers
+        that release a dispatch window of same-instant events (store put
+        fan-out, window dispatch) use this to make the arrival burst O(1)
+        per event with no ordered-structure traffic at all.
+        """
+        for event in events:
+            if event._ok is not None:
+                raise EventAlreadyTriggered(f"{event!r} already triggered")
+            event._ok = True
+            event._value = value
+        self._immediate.extend(events)
+        return events
+
+    def timeout_batch(self, whens: Sequence[float],
+                      value: Any = None) -> List[Timeout]:
+        """Create timeouts at non-decreasing absolute times in one bulk push.
+
+        Equivalent to ``[timeout_at(w, value) for w in whens]`` — identical
+        events, identical ordering — but the future-queue insertion happens
+        once for the whole monotone run (one bucket append per entry in the
+        calendar queue, a single sorted-merge in the heap), which is what
+        makes replaying a pre-sorted arrival schedule cheap.
+        """
+        now = self._now
+        previous = now
+        timeouts: List[Timeout] = []
+        entries: List[Tuple[float, int, Timeout]] = []
+        seq = self._sequence
+        for when in whens:
+            if when < now:
+                raise ValueError(f"timeout at={when} is in the past "
+                                 f"(now={now})")
+            if when < previous:
+                raise ValueError("timeout_batch times must be non-decreasing")
+            previous = when
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout._callbacks = _NO_WAITERS
+            timeout._value = value
+            timeout._ok = True
+            timeout._defused = False
+            timeout.delay = when - now
+            timeout.cancelled = False
+            if when > now:
+                entries.append((when, seq, timeout))
+                seq += 1
+            else:
+                self._immediate.append(timeout)
+            timeouts.append(timeout)
+        self._sequence = seq
+        if entries:
+            self._future.push_batch(entries)
+        return timeouts
+
+    def process_batch(self, generators: Sequence[ProcessGenerator],
+                      names: Optional[Sequence[str]] = None) -> List[Process]:
+        """Start several processes at the current time in one bulk append.
+
+        Equivalent to ``[process(g) for g in generators]`` — each process
+        gets its own start event, dispatched in order — but the start
+        events land on the urgent deque in a single ``extend``.  The
+        dispatch pipeline uses this to launch a whole batch-expansion of
+        per-invocation tasks at once.
+        """
+        processes: List[Process] = []
+        starts: List[Initialize] = []
+        for index, generator in enumerate(generators):
+            process = Process.__new__(Process)
+            process.env = self
+            process._callbacks = _NO_WAITERS
+            process._value = None
+            process._ok = None
+            process._defused = False
+            process._generator = generator
+            process.name = (names[index] if names is not None
+                            else getattr(generator, "__name__", "process"))
+            process._waiting_on = None
+            start = Initialize.__new__(Initialize)
+            start.env = self
+            start._callbacks = process._resume
+            start._value = None
+            start._ok = True
+            start._defused = False
+            processes.append(process)
+            starts.append(start)
+        self._urgent.extend(starts)
+        return processes
+
+    # -- scheduling -----------------------------------------------------------
 
     def defer(self, callback: Callable[[], None]) -> None:
         """Run *callback* at the current simulated time, urgently.
@@ -611,39 +739,34 @@ class Environment:
         event = Event(self)
         event._ok = True
         event._callbacks = lambda _event: callback()
-        heapq.heappush(self._queue, (self._now, self._sequence, event))
-        self._sequence += 1
+        self._urgent.append(event)
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
         if (self._cancelled >= self.COMPACT_THRESHOLD
-                and self._cancelled * 2 > len(self._queue)):
-            retained = []
-            for entry in self._queue:
-                if entry[2].cancelled:
-                    entry[2]._callbacks = None  # mark processed
-                else:
-                    retained.append(entry)
-            # In place: run()/run_process() hold the list as a bound local,
-            # so the queue object's identity must never change.
-            self._queue[:] = retained
-            heapq.heapify(self._queue)
-            self._cancelled = 0
-
-    def _discard_cancelled(self) -> None:
-        """Drop cancelled entries sitting at the head of the heap."""
-        queue = self._queue
-        while queue and queue[0][2].cancelled:
-            heapq.heappop(queue)[2]._callbacks = None
-            self._cancelled -= 1
+                and self._cancelled * 2 > (len(self._future)
+                                           + len(self._immediate))):
+            self._cancelled -= self._future.compact()
+            if self._cancelled > 0 and self._immediate:
+                immediate = self._immediate
+                live = [e for e in immediate if not e.cancelled]
+                dropped = len(immediate) - len(live)
+                if dropped:
+                    for event in immediate:
+                        if event.cancelled:
+                            event._callbacks = None
+                    immediate.clear()
+                    immediate.extend(live)
+                    self._cancelled -= dropped
 
     def peek(self) -> float:
         """Time of the next scheduled *live* event, or +inf when idle."""
-        queue = self._queue
-        while queue and queue[0][2].cancelled:
-            heapq.heappop(queue)[2]._callbacks = None
-            self._cancelled -= 1
-        return queue[0][0] if queue else float("inf")
+        if self._urgent:
+            return self._now  # urgent events are never cancellable
+        for event in self._immediate:
+            if not event.cancelled:
+                return self._now
+        return self._future.min_when()
 
     def step(self) -> None:
         """Process exactly one live event (advancing time to it).
@@ -651,13 +774,25 @@ class Environment:
         This is the reference implementation of event dispatch;
         :meth:`run` / :meth:`run_process` inline the same sequence.
         """
-        self._discard_cancelled()
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _key, event = heapq.heappop(self._queue)
-        if when < self._now - 1e-9:
-            raise SimulationError("event scheduled in the past")
-        self._advance(when)
+        while True:
+            if self._urgent:
+                event = self._urgent.popleft()
+            else:
+                when = self._future.min_when()
+                if when <= self._now:
+                    event = self._future.pop()
+                elif self._immediate:
+                    event = self._immediate.popleft()
+                elif when == _INF:
+                    raise SimulationError("step() on an empty event queue")
+                else:
+                    self._advance(when)
+                    event = self._future.pop()
+            if event.cancelled:
+                event._callbacks = None
+                self._cancelled -= 1
+                continue
+            break
         callbacks = event._callbacks
         event._callbacks = None  # mark processed
         assert callbacks is not None
@@ -676,104 +811,157 @@ class Environment:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches *until*."""
+        """Run until the queues drain or simulated time reaches *until*."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        queue = self._queue
-        pop = heapq.heappop
+        urgent = self._urgent
+        immediate = self._immediate
+        future_next = self._future.next_due
+        future_pop = self._future.pop_until
+        pop_urgent = urgent.popleft
+        pop_immediate = immediate.popleft
         hooks = self._time_hooks
         no_waiters = _NO_WAITERS
-        while queue:
-            entry = queue[0]
-            event = entry[2]
-            if event.cancelled:
-                pop(queue)
-                event._callbacks = None
-                self._cancelled -= 1
-                continue
-            when = entry[0]
-            if until is not None and when > until:
-                break
-            pop(queue)
-            if when > self._now:
-                if hooks:
-                    self._advance(when)
+        limit = _INF if until is None else until
+        now = self._now
+        processed = 0
+        try:
+            while True:
+                if urgent:
+                    # Urgent events are never cancellable: no tombstone check.
+                    event = pop_urgent()
+                elif immediate:
+                    event = future_next(now)
+                    if type(event) is float:  # head beyond now
+                        event = pop_immediate()
+                        if event.cancelled:
+                            event._callbacks = None
+                            self._cancelled -= 1
+                            continue
+                elif hooks:
+                    # Hooks may schedule events while the clock advances, so
+                    # keep the two-phase peek/advance/re-pop sequence.
+                    event = future_next(now)
+                    if type(event) is float:
+                        when = event
+                        if when == _INF or when > limit:
+                            break
+                        self._advance(when)
+                        now = when
+                        event = future_next(now)
                 else:
-                    self._now = when
-            elif when < self._now - 1e-9:
-                raise SimulationError("event scheduled in the past")
-            callbacks = event._callbacks
-            event._callbacks = None
-            self.events_processed += 1
-            if type(callbacks) is list:
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused and not callbacks:
-                    raise event._value
-            elif callbacks is no_waiters:
-                if not event._ok and not event._defused:
-                    raise event._value
-            else:
-                callbacks(event)
+                    # Fused peek/advance/pop: the returned entry carries the
+                    # timestamp the clock must advance to.
+                    entry = future_pop(limit)
+                    if type(entry) is float:  # empty, or head beyond until
+                        break
+                    when = entry[0]
+                    if when > now:
+                        self._now = when
+                        now = when
+                    event = entry[2]
+                callbacks = event._callbacks
+                event._callbacks = None
+                processed += 1
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused and not callbacks:
+                        raise event._value
+                elif callbacks is no_waiters:
+                    if not event._ok and not event._defused:
+                        raise event._value
+                else:
+                    callbacks(event)
+        finally:
+            self.events_processed += processed
         if until is not None:
             self._advance(until)
 
     def run_process(self, process: Process,
                     until: Optional[float] = None) -> Any:
         """Run until *process* completes; return its value or raise."""
-        queue = self._queue
-        pop = heapq.heappop
+        urgent = self._urgent
+        immediate = self._immediate
+        future_next = self._future.next_due
+        future_pop = self._future.pop_until
+        pop_urgent = urgent.popleft
+        pop_immediate = immediate.popleft
         hooks = self._time_hooks
         no_waiters = _NO_WAITERS
+        limit = _INF if until is None else until
         draining = False
-        while True:
-            if process._ok is not None and not draining:
-                # Drain the zero-delay completion event so joiners observe
-                # it too, then stop.
-                draining = True
-            entry = None
-            while queue:
-                entry = queue[0]
-                if entry[2].cancelled:
-                    pop(queue)
-                    entry[2]._callbacks = None
-                    self._cancelled -= 1
-                    entry = None
-                    continue
-                break
-            if entry is None:
-                if draining:
-                    break
-                raise SimulationError(
-                    f"deadlock: {process!r} cannot complete, queue empty")
-            when = entry[0]
-            if draining and when > self._now:
-                break
-            if not draining and until is not None and when > until:
-                raise SimulationError(
-                    f"{process!r} did not finish by t={until}")
-            pop(queue)
-            event = entry[2]
-            if when > self._now:
-                if hooks:
-                    self._advance(when)
+        now = self._now
+        processed = 0
+        try:
+            while True:
+                if not draining and process._ok is not None:
+                    # Drain the remaining events at this instant so joiners
+                    # observe the completion too, then stop.
+                    draining = True
+                if urgent:
+                    # Urgent events are never cancellable: no tombstone check.
+                    event = pop_urgent()
+                elif immediate:
+                    event = future_next(now)
+                    if type(event) is float:  # head beyond now
+                        event = pop_immediate()
+                        if event.cancelled:
+                            event._callbacks = None
+                            self._cancelled -= 1
+                            continue
+                elif hooks:
+                    # Hooks may schedule events while the clock advances, so
+                    # keep the two-phase peek/advance/re-pop sequence.
+                    event = future_next(now)
+                    if type(event) is float:
+                        if draining:
+                            break
+                        when = event
+                        if when == _INF:
+                            raise SimulationError(
+                                f"deadlock: {process!r} cannot complete, "
+                                "queue empty")
+                        if when > limit:
+                            raise SimulationError(
+                                f"{process!r} did not finish by t={until}")
+                        self._advance(when)
+                        now = when
+                        event = future_next(now)
                 else:
-                    self._now = when
-            elif when < self._now - 1e-9:
-                raise SimulationError("event scheduled in the past")
-            callbacks = event._callbacks
-            event._callbacks = None
-            self.events_processed += 1
-            if type(callbacks) is list:
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused and not callbacks:
-                    raise event._value
-            elif callbacks is no_waiters:
-                if not event._ok and not event._defused:
-                    raise event._value
-            else:
-                callbacks(event)
+                    # Fused peek/advance/pop: the returned entry carries the
+                    # timestamp the clock must advance to.  While draining,
+                    # bound at `now` so only events at this instant pop.
+                    entry = future_pop(now if draining else limit)
+                    if type(entry) is float:
+                        if draining:
+                            break
+                        if entry == _INF:
+                            raise SimulationError(
+                                f"deadlock: {process!r} cannot complete, "
+                                "queue empty")
+                        raise SimulationError(
+                            f"{process!r} did not finish by t={until}")
+                    when = entry[0]
+                    if when > now:
+                        self._now = when
+                        now = when
+                    event = entry[2]
+                callbacks = event._callbacks
+                event._callbacks = None
+                processed += 1
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused and not callbacks:
+                        raise event._value
+                elif callbacks is no_waiters:
+                    if not event._ok and not event._defused:
+                        raise event._value
+                else:
+                    callbacks(event)
+        finally:
+            self.events_processed += processed
         if process._ok:
             return process._value
         raise process._value

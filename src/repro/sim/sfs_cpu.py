@@ -34,7 +34,7 @@ cgroup shares (matching its user-space design).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Set, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.stats import Ewma
@@ -101,11 +101,10 @@ class SfsCpu(CpuEngineBase):
         self._foreground: Deque[SfsTask] = deque()
         self._background: Deque[SfsTask] = deque()
         self._signal: Store[int] = Store(env)
-        self._running: Set[SfsTask] = set()
         #: Wake-up signals whose task was aborted out of the queues.
         self._stale_signals = 0
-        for core_index in range(self.cores):
-            env.process(self._core_loop(core_index), name=f"sfs-core-{core_index}")
+        self._core_machines: List[_SfsCore] = [
+            _SfsCore(self) for _ in range(self.cores)]
 
     # -- CpuEngine interface ----------------------------------------------------
 
@@ -138,8 +137,10 @@ class SfsCpu(CpuEngineBase):
                 queue_.extend(keep)
                 self._stale_signals += removed
                 dropped += removed
-        for task in self._running:
-            if task.group_name == name and not task.aborted:
+        for core in self._core_machines:
+            task = core.task
+            if (task is not None and task.group_name == name
+                    and not task.aborted):
                 task.aborted = True
                 dropped += 1
         return dropped
@@ -163,8 +164,9 @@ class SfsCpu(CpuEngineBase):
 
     @property
     def active_tasks(self) -> int:
-        return (len(self._foreground) + len(self._background)
-                + len(self._running))
+        running = sum(1 for core in self._core_machines
+                      if core.task is not None)
+        return len(self._foreground) + len(self._background) + running
 
     def busy_core_ms(self) -> float:
         """Completed core-ms (whole slices; running slices charge at end)."""
@@ -172,7 +174,8 @@ class SfsCpu(CpuEngineBase):
 
     def current_rate(self) -> float:
         """Cores currently executing a task."""
-        return float(len(self._running))
+        return float(sum(1 for core in self._core_machines
+                         if core.task is not None))
 
     @property
     def current_slice_ms(self) -> float:
@@ -205,16 +208,18 @@ class SfsCpu(CpuEngineBase):
             raise SimulationError("SFS signalled with no queued task")
         return task, min(quantum, task.remaining)
 
-    def _plan_slices(self, task: SfsTask,
-                     quantum: float) -> Tuple[List[float], float]:
+    def _merge_slices(self, task: SfsTask, quantum: float, fire: float,
+                      horizon: float) -> Tuple[Optional[List[float]], float]:
         """Plan the run of back-to-back slices *task* gets from one timer.
 
-        Returns ``(slices, fire_at)``: the per-slice charges and the
-        absolute firing time of the single merged timer.  The plan extends
-        beyond the first slice only while every additional slice boundary
-        falls *strictly before* the next scheduled kernel event
-        (``env.peek()``) with both queues empty, no signals in flight and
-        no time hooks installed — under those conditions the sequential
+        Returns ``(slices, fire_at)``: the per-slice charges (``None`` when
+        only the first slice fits — the common contended case, spared the
+        list allocation) and the absolute firing time of the single merged
+        timer.  The plan extends beyond the first slice only while every
+        additional slice boundary falls *strictly before* *horizon* — the
+        next scheduled kernel event; the caller has already established
+        that both queues are empty, no signals are in flight and no time
+        hooks are installed.  Under those conditions the sequential
         discipline would provably run the same task for the same
         back-to-back slices with nothing able to observe (or perturb) the
         intermediate boundaries, so merging them into one timer elides
@@ -222,18 +227,8 @@ class SfsCpu(CpuEngineBase):
         Boundary times accumulate sequentially (``fire += slice``), exactly
         the float chain the per-slice timers would have produced.
         """
-        env = self.env
-        fire = env.now + quantum
         slices = [quantum]
         remaining = task.remaining - quantum
-        if (remaining <= TIME_EPSILON
-                or self._foreground or self._background
-                or self._stale_signals or len(self._signal)
-                or env._time_hooks):
-            return slices, fire
-        horizon = env.peek()
-        if fire >= horizon:
-            return slices, fire
         served = task.served + quantum
         slice_ms = self._slice
         bg_quantum = slice_ms * self.background_slice_factor
@@ -244,63 +239,154 @@ class SfsCpu(CpuEngineBase):
                 nxt = remaining
             boundary = fire + nxt
             if boundary >= horizon:
-                return slices, fire
+                break
             slices.append(nxt)
             fire = boundary
             remaining -= nxt
             served += nxt
             if remaining <= TIME_EPSILON:
-                return slices, fire
-
-    def _core_loop(self, core_index: int):
-        env = self.env
-        signal = self._signal
-        running = self._running
-        coalesce = self._coalesce
-        timer: Optional[Timeout] = None
-        while True:
-            yield signal.get()
-            task, quantum = self._pick()
-            if task is None:
-                continue
-            # Inner loop: consecutive slices on this core.  Each iteration
-            # arms one timer covering one or more merged slices; when the
-            # end-of-slice wake-up would be the sole event at this instant,
-            # the signal round-trip is elided and the next task is picked
-            # directly (order-preserving: the elided wake event would have
-            # been the next event processed, and core identity is not
-            # observable).
-            while True:
-                if task.started_at is None:
-                    task.started_at = env.now
-                running.add(task)
-                if coalesce:
-                    slices, fire = self._plan_slices(task, quantum)
-                else:
-                    slices, fire = [quantum], env.now + quantum
-                if timer is not None and timer._callbacks is None:
-                    timer.reset(0.0, at=fire)
-                else:
-                    timer = env.timeout_at(fire)
-                yield timer
-                running.discard(task)
-                busy = self._busy_core_ms
-                for charge in slices:
-                    task.remaining -= charge
-                    task.served += charge
-                    busy += charge
-                self._busy_core_ms = busy
-                if task.aborted:
-                    break  # crashed mid-slice: discard without completing
-                if task.remaining <= TIME_EPSILON:
-                    task.done.succeed(env.now - task.arrived_at)
-                    break
-                if task.served >= self.promotion_threshold_ms:
-                    self._background.append(task)
-                else:
-                    self._foreground.append(task)
-                if coalesce and env.peek() > env.now:
-                    task, quantum = self._pick()
-                    continue
-                signal.put(1)
                 break
+        if len(slices) == 1:
+            return None, fire
+        return slices, fire
+
+
+class _SfsCore:
+    """One worker core as an event-callback state machine.
+
+    Historically each core was a generator process (``yield signal.get()``
+    / ``yield timer``); with millions of slice events per run the generator
+    machinery (send/yield, Process bookkeeping) dominated the SFS bench
+    cell.  The state machine drives the *same* events — one Store ``get``
+    per idle wait, one (merged) timer per slice run, the same pick order,
+    the same signal hand-off — by attaching its methods directly as the
+    events' callbacks, so the observable schedule is bit-identical while
+    each slice costs one callback invocation instead of a generator resume.
+
+    Each cycle: ``_on_signal`` pops the signalled task and arms the slice
+    timer; ``_on_timer`` charges the merged slices and either completes the
+    task, re-queues it (taking the next task directly when the wake-up
+    signal would be the sole event at this instant — order-preserving,
+    since the elided wake event would have been the next event processed
+    and core identity is not observable), or goes back to waiting.
+    """
+
+    __slots__ = ("cpu", "task", "quantum", "slices", "timer")
+
+    def __init__(self, cpu: "SfsCpu") -> None:
+        self.cpu = cpu
+        self.task: Optional[SfsTask] = None
+        self.quantum = 0.0
+        self.slices: Optional[List[float]] = None
+        self.timer: Optional[Timeout] = None
+        self._await_signal()
+
+    def _await_signal(self) -> None:
+        event = self.cpu._signal.get()
+        # Fresh get events have no waiters; attach the bare callback.
+        event._callbacks = self._on_signal
+
+    def _on_signal(self, _event: Event) -> None:
+        task, quantum = self.cpu._pick()
+        if task is None:
+            self._await_signal()
+            return
+        self.task = task
+        self.quantum = quantum
+        self._arm()
+
+    def _arm(self) -> None:
+        """Arm one timer covering one or more merged slices of the task.
+
+        The merge gate is inlined (conservative peek: treating a
+        tombstone-only immediate deque as pending work only skips an
+        elision, never changes the schedule), and the timer re-arm inlines
+        ``Timeout.reset`` minus its guards — this core owns the timer, it
+        is fully processed, never cancelled, and fires in the future.
+        """
+        cpu = self.cpu
+        env = cpu.env
+        task = self.task
+        quantum = self.quantum
+        now = env._now
+        if task.started_at is None:
+            task.started_at = now
+        fire = now + quantum
+        slices = None
+        if (cpu._coalesce
+                and not cpu._foreground and not cpu._background
+                and not cpu._stale_signals and not cpu._signal._items
+                and not env._time_hooks
+                and not env._urgent and not env._immediate
+                and task.remaining - quantum > TIME_EPSILON):
+            horizon = env._future.min_when()
+            if fire < horizon:
+                slices, fire = cpu._merge_slices(task, quantum, fire, horizon)
+        self.slices = slices
+        timer = self.timer
+        if timer is not None and timer._callbacks is None:
+            timer.delay = fire - now
+            if fire > now:
+                env._future.push(fire, env._sequence, timer)
+                env._sequence += 1
+            else:
+                env._immediate.append(timer)
+        else:
+            timer = env.timeout_at(fire)
+            self.timer = timer
+        timer._callbacks = self._on_timer
+
+    def _on_timer(self, _event: Event) -> None:
+        cpu = self.cpu
+        env = cpu.env
+        task = self.task
+        slices = self.slices
+        if slices is None:
+            # Single slice (the common contended case): charge directly.
+            charge = self.quantum
+            task.remaining -= charge
+            task.served += charge
+            cpu._busy_core_ms += charge
+        else:
+            # Merged run: charge sequentially, preserving the float chain.
+            busy = cpu._busy_core_ms
+            for charge in slices:
+                task.remaining -= charge
+                task.served += charge
+                busy += charge
+            cpu._busy_core_ms = busy
+        if task.aborted:
+            # Crashed mid-slice: discard without completing.
+            self.task = None
+            self._await_signal()
+            return
+        if task.remaining <= TIME_EPSILON:
+            task.done.succeed(env._now - task.arrived_at)
+            self.task = None
+            self._await_signal()
+            return
+        foreground = cpu._foreground
+        if task.served >= cpu.promotion_threshold_ms:
+            cpu._background.append(task)
+        else:
+            foreground.append(task)
+        if (cpu._coalesce and not env._urgent and not env._immediate
+                and env._future.min_when() > env._now):
+            # The wake-up signal would be the sole event at this instant:
+            # elide the round-trip and pick the next task directly (inline
+            # _pick; a queue is non-empty — the task was just re-queued —
+            # and the conservative peek is order-preserving as in _arm).
+            if foreground:
+                task = foreground.popleft()
+                quantum = cpu._slice
+            else:
+                task = cpu._background.popleft()
+                quantum = cpu._slice * cpu.background_slice_factor
+            remaining = task.remaining
+            self.task = task
+            self.quantum = quantum if quantum < remaining else remaining
+            self._arm()
+            return
+        self.task = None
+        cpu._signal.put(1)
+        self._await_signal()

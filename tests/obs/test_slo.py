@@ -222,7 +222,7 @@ class TestAnnotateReport:
         assert cells["faasbatch"]["slo"]["ok"] is True
         assert "slo" not in cells["vanilla"]  # control arm stays ungated
         # The v6 validator accepts the attached blocks.
-        annotated["schema"] = "faasbatch-bench/v6"
+        annotated["schema"] = "faasbatch-bench/v7"
         validate_report(annotated)
 
     def test_slo_table_shape(self):
